@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench cover experiments figures clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/ga/ ./internal/deque/ ./internal/mp/ ./internal/core/
+
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -coverprofile=cover.out ./internal/...
+	go tool cover -func=cover.out | tail -1
+
+# Regenerate the full evaluation at paper scale (minutes).
+experiments:
+	go run ./cmd/benchsuite -exp all -scale paper
+
+figures:
+	go run ./cmd/benchsuite -svg figures/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf figures/

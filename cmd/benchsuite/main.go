@@ -1,0 +1,109 @@
+// benchsuite regenerates the evaluation's tables and figures (see
+// DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	benchsuite -list
+//	benchsuite -exp F2
+//	benchsuite -exp all -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"execmodels/internal/bench"
+	"execmodels/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsuite: ")
+	var (
+		exp       = flag.String("exp", "all", "experiment ID (F1..F8, T1..T7, A1..A8), comma list, or 'all'")
+		scale     = flag.String("scale", "small", "workload scale: small | paper")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		gantt     = flag.String("gantt", "", "render an execution timeline for the given model (e.g. work-stealing) instead of running experiments")
+		ranks     = flag.Int("ranks", 8, "rank count for -gantt")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+		chromeOut = flag.String("chrome", "", "with -gantt: write a Chrome trace-event JSON to this file instead of text")
+		dump      = flag.String("dump", "", "write the suite's chemistry workload as JSON to this file and exit")
+		svgDir    = flag.String("svg", "", "render the figure experiments (F2-F7) as SVG charts into this directory and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range bench.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	s := bench.NewSuite(*scale, *seed)
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := core.WriteWorkload(f, s.Workload()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s-scale chemistry workload to %s\n", *scale, *dump)
+		return
+	}
+	if *svgDir != "" {
+		files, err := s.FigureSVGs(*svgDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		return
+	}
+	if *gantt != "" {
+		if *chromeOut != "" {
+			f, err := os.Create(*chromeOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := s.ChromeTrace(f, *gantt, *ranks); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote Chrome trace for %s to %s (open in chrome://tracing)\n", *gantt, *chromeOut)
+			return
+		}
+		out, err := s.Gantt(*gantt, *ranks, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	var ids []string
+	if *exp == "all" {
+		ids = bench.Experiments()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		t, err := s.Run(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asCSV {
+			if err := t.FprintCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// hfscf runs a restricted Hartree–Fock calculation end to end, with the
+// Fock build executed serially or under one of the wall-clock parallel
+// execution models.
+//
+// Usage:
+//
+//	hfscf -molecule water -basis sto-3g
+//	hfscf -molecule waters:8 -mode stealing -workers 8
+//	hfscf -molecule alkane:6 -basis 6-31g -mode dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hfscf: ")
+	var (
+		molecule = flag.String("molecule", "water", "water | h2 | waters:N | alkane:N | random:N | xyz:FILE")
+		basis    = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g or 6-31g*")
+		mode     = flag.String("mode", "serial", "fock build: serial | static | dynamic | stealing")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for parallel modes")
+		maxIter  = flag.Int("maxiter", 50, "maximum SCF iterations")
+		screen   = flag.Float64("screen", 1e-10, "Schwarz screening threshold")
+		block    = flag.Int("block", 4, "bra-pair block size for the Fock workload")
+		orbitals = flag.Bool("orbitals", false, "print orbital energies")
+		seed     = flag.Int64("seed", 7, "geometry seed for generated molecules")
+		diis     = flag.Bool("diis", true, "DIIS convergence acceleration")
+		mp2      = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems only)")
+		props    = flag.Bool("properties", false, "print dipole moment and Mulliken charges")
+		uhf      = flag.Bool("uhf", false, "unrestricted Hartree-Fock")
+		mult     = flag.Int("multiplicity", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
+		charge   = flag.Int("charge", 0, "net molecular charge")
+	)
+	flag.Parse()
+
+	mol, err := parseMolecule(*molecule, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mol.Charge = *charge
+	bs, err := chem.NewBasis(*basis, mol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *uhf {
+		runUHF(mol, bs, *mult, *maxIter, *screen, *block)
+		return
+	}
+
+	var builder chem.FockBuilder
+	if *mode != "serial" {
+		builder, err = core.ParallelFockBuilder(*mode, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("molecule  %s (%d atoms, %d electrons)\n", mol.Name, len(mol.Atoms), mol.NumElectrons())
+	fmt.Printf("basis     %s (%d shells, %d functions)\n", bs.Name, len(bs.Shells), bs.NBF)
+	fmt.Printf("fock mode %s", *mode)
+	if *mode != "serial" {
+		fmt.Printf(" (%d workers)", *workers)
+	}
+	fmt.Println()
+
+	start := time.Now()
+	res, err := chem.RunSCF(mol, bs, chem.SCFOptions{
+		MaxIter:   *maxIter,
+		Screening: *screen,
+		BlockSize: *block,
+		UseDIIS:   *diis,
+	}, builder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\ntasks     %d (cost max/mean %.2f)\n",
+		len(res.Workload.Tasks), res.Workload.CostImbalance())
+	if !res.Converged {
+		fmt.Printf("WARNING   not converged after %d iterations\n", res.Iterations)
+	} else {
+		fmt.Printf("converged in %d iterations (%v)\n", res.Iterations, elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("E(nuc)    %+.8f hartree\n", res.Nuclear)
+	fmt.Printf("E(elec)   %+.8f hartree\n", res.Electronic)
+	fmt.Printf("E(total)  %+.8f hartree\n", res.Energy)
+	if *orbitals {
+		fmt.Println("\norbital energies (hartree):")
+		nocc := mol.NumElectrons() / 2
+		for i, e := range res.OrbitalE {
+			occ := " "
+			if i < nocc {
+				occ = "*"
+			}
+			fmt.Printf("  %3d %s %+.6f\n", i+1, occ, e)
+		}
+	}
+	if *props && res.Converged {
+		mu := chem.DipoleMoment(mol, bs, res.D)
+		fmt.Printf("\ndipole    (%+.4f, %+.4f, %+.4f) a.u., |mu| = %.4f a.u. = %.4f D\n",
+			mu.X, mu.Y, mu.Z, mu.Norm(), mu.Norm()*2.541746)
+		s := chem.Overlap(bs)
+		q := chem.MullikenCharges(mol, bs, res.D, s)
+		fmt.Println("mulliken charges:")
+		for i, a := range mol.Atoms {
+			fmt.Printf("  %-3s %+.4f\n", a.Symbol(), q[i])
+		}
+	}
+	if *mp2 && res.Converged {
+		e2, err := chem.MP2Energy(bs, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("E(MP2)    %+.8f hartree\n", e2)
+		fmt.Printf("E(tot+2)  %+.8f hartree\n", res.Energy+e2)
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+// runUHF drives the unrestricted branch of the tool.
+func runUHF(mol *chem.Molecule, bs *chem.BasisSet, mult, maxIter int, screen float64, block int) {
+	start := time.Now()
+	res, err := chem.RunUHF(mol, bs, chem.UHFOptions{
+		Multiplicity: mult,
+		MaxIter:      maxIter,
+		Screening:    screen,
+		BlockSize:    block,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		fmt.Printf("WARNING   not converged after %d iterations\n", res.Iterations)
+	} else {
+		fmt.Printf("converged in %d iterations (%v)\n", res.Iterations,
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("occupation %dα / %dβ\n", res.NAlpha, res.NBeta)
+	fmt.Printf("E(total)  %+.8f hartree\n", res.Energy)
+	fmt.Printf("<S²>      %.4f\n", res.S2)
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+func parseMolecule(spec string, seed int64) (*chem.Molecule, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	n := 0
+	switch name {
+	case "waters", "alkane", "random":
+		if hasArg {
+			var err error
+			n, err = strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad molecule count in %q", spec)
+			}
+		}
+	}
+	switch name {
+	case "water":
+		return chem.Water(), nil
+	case "h2":
+		return chem.H2(1.4), nil
+	case "waters":
+		if !hasArg {
+			return nil, fmt.Errorf("waters needs a count, e.g. waters:4")
+		}
+		return chem.WaterCluster(n, seed), nil
+	case "alkane":
+		if !hasArg {
+			return nil, fmt.Errorf("alkane needs a count, e.g. alkane:6")
+		}
+		return chem.Alkane(n), nil
+	case "random":
+		if !hasArg {
+			return nil, fmt.Errorf("random needs a count, e.g. random:20")
+		}
+		return chem.RandomCluster(n, []int{1, 8}, seed), nil
+	case "xyz":
+		if arg == "" {
+			return nil, fmt.Errorf("xyz needs a path, e.g. xyz:geom.xyz")
+		}
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return chem.ParseXYZ(f)
+	default:
+		return nil, fmt.Errorf("unknown molecule %q", spec)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMoleculeVariants(t *testing.T) {
+	cases := []struct {
+		spec  string
+		atoms int
+	}{
+		{"water", 3},
+		{"h2", 2},
+		{"waters:2", 6},
+		{"alkane:3", 11}, // C3H8
+		{"random:5", 5},
+	}
+	for _, c := range cases {
+		mol, err := parseMolecule(c.spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if len(mol.Atoms) != c.atoms {
+			t.Errorf("%s: %d atoms, want %d", c.spec, len(mol.Atoms), c.atoms)
+		}
+	}
+}
+
+func TestParseMoleculeErrors(t *testing.T) {
+	for _, spec := range []string{
+		"unknown", "waters", "waters:0", "waters:x", "alkane", "random", "xyz", "xyz:/no/such/file.xyz",
+	} {
+		if _, err := parseMolecule(spec, 1); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestParseMoleculeXYZ(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.xyz")
+	content := "3\ntest water\nO 0 0 0\nH 0.76 0 0.59\nH -0.76 0 0.59\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mol, err := parseMolecule("xyz:"+path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mol.Atoms) != 3 || mol.Name != "test water" {
+		t.Fatalf("parsed %+v", mol)
+	}
+}

@@ -1,0 +1,51 @@
+// Message passing: the distributed-memory flavour of the execution stack.
+// A Fock build runs on a goroutine-backed message-passing world (the MPI
+// analog): the density is broadcast, tasks are claimed from a dedicated
+// counter-server rank (the Global Arrays NXTVAL pattern), partial Fock
+// contributions are combined with an allreduce — and the result is
+// bit-compared against the serial build.
+//
+//	go run ./examples/messagepassing [-ranks n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/core"
+	"execmodels/internal/linalg"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "worker ranks in the message-passing world")
+	flag.Parse()
+
+	mol := chem.WaterCluster(2, 7)
+	bs, err := chem.NewBasis("sto-3g", mol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := chem.BuildFockWorkload(bs, 1e-10, 4)
+	h := chem.CoreHamiltonian(bs, mol)
+	d := linalg.Identity(bs.NBF)
+
+	fmt.Printf("%s: %d basis functions, %d tasks\n", mol.Name, bs.NBF, len(fw.Tasks))
+	serial := fw.BuildFock(h, d)
+
+	for _, mode := range []string{"static", "counter"} {
+		res, err := core.DistributedFock(fw, h, d, *ranks, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmode=%s over %d ranks\n", mode, *ranks)
+		fmt.Printf("  tasks per rank: %v\n", res.TasksByRank)
+		if mode == "counter" {
+			fmt.Printf("  counter-server ops: %d\n", res.CounterOps)
+		}
+		fmt.Printf("  max |F_mp - F_serial| = %.2e\n", res.F.MaxAbsDiff(serial))
+	}
+	fmt.Println("\nboth modes reproduce the serial Fock matrix exactly; they differ only")
+	fmt.Println("in how work found its way to ranks — which is the paper's entire subject.")
+}

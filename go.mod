@@ -1,0 +1,3 @@
+module execmodels
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package bench regenerates every table and figure of the evaluation
+// (reconstructed from the paper's abstract; see DESIGN.md): workload
+// construction, parameter sweeps, model execution and aligned-text table
+// rendering. Both cmd/benchsuite and the repository's testing.B benches
+// drive this package.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/cluster"
+	"execmodels/internal/core"
+)
+
+// Table is one rendered experiment: an aligned text table plus notes
+// recording the shape the paper reports.
+type Table struct {
+	ID     string // "F1", "T3", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// FprintCSV renders the table as CSV (header row, data rows; notes as
+// trailing '#' comment lines), for machine consumption.
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"experiment"}, t.Header...)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Suite prepares shared workloads once and runs individual experiments.
+type Suite struct {
+	Scale string // "small" (seconds, for tests) or "paper" (full sweep)
+	Seed  int64
+
+	once  sync.Once
+	bs    *chem.BasisSet
+	mol   *chem.Molecule
+	pairs []chem.ShellPair
+	fock  *chem.FockWorkload
+	work  *core.Workload
+}
+
+// NewSuite returns a Suite at the given scale ("small" or "paper").
+func NewSuite(scale string, seed int64) *Suite {
+	if scale != "small" && scale != "paper" {
+		panic(fmt.Sprintf("bench: unknown scale %q", scale))
+	}
+	return &Suite{Scale: scale, Seed: seed}
+}
+
+// waters returns the water-cluster size for the suite's scale.
+func (s *Suite) waters() int {
+	if s.Scale == "paper" {
+		return 16
+	}
+	return 4
+}
+
+// rankSweep returns the strong-scaling rank counts.
+func (s *Suite) rankSweep() []int {
+	if s.Scale == "paper" {
+		return []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// maxRanks returns the largest rank count in the sweep.
+func (s *Suite) maxRanks() int {
+	sw := s.rankSweep()
+	return sw[len(sw)-1]
+}
+
+// prepare builds (once) the chemistry workload shared by most
+// experiments: a water cluster in STO-3G, screened at 1e-9 and blocked at
+// 4 bra pairs per task.
+func (s *Suite) prepare() {
+	s.once.Do(func() {
+		s.mol = chem.WaterCluster(s.waters(), s.Seed)
+		bs, err := chem.NewBasis("sto-3g", s.mol)
+		if err != nil {
+			panic(err)
+		}
+		s.bs = bs
+		s.pairs = chem.SchwarzBounds(bs)
+		blockSize := 4
+		if s.Scale == "small" {
+			// Keep a healthy tasks-per-rank ratio at the small scale's
+			// lower pair count.
+			blockSize = 2
+		}
+		s.fock = chem.BuildFockWorkloadFromPairs(bs, s.pairs, 1e-9, blockSize)
+		s.work = core.FromFock(s.fock)
+	})
+}
+
+// Workload returns the suite's shared chemistry workload.
+func (s *Suite) Workload() *core.Workload {
+	s.prepare()
+	return s.work
+}
+
+// machine builds the standard homogeneous quiet machine.
+func (s *Suite) machine(ranks int) *cluster.Machine {
+	return cluster.New(cluster.Config{Ranks: ranks, Seed: s.Seed})
+}
+
+// Experiments lists the available experiment IDs in canonical order.
+func Experiments() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// registry maps experiment IDs to their implementations.
+var registry = map[string]func(*Suite) *Table{
+	"F1": (*Suite).Figure1,
+	"F2": (*Suite).Figure2,
+	"F3": (*Suite).Figure3,
+	"F4": (*Suite).Figure4,
+	"F5": (*Suite).Figure5,
+	"T1": (*Suite).Table1,
+	"T2": (*Suite).Table2,
+	"T3": (*Suite).Table3,
+	"T4": (*Suite).Table4,
+	"T5": (*Suite).Table5,
+	"F6": (*Suite).Figure6,
+	"F7": (*Suite).Figure7,
+	"T7": (*Suite).Table7,
+	"T6": (*Suite).Table6,
+	"A1": (*Suite).AblationWallVsSim,
+	"A2": (*Suite).AblationUniformCosts,
+	"A3": (*Suite).AblationStealPolicy,
+	"A4": (*Suite).AblationLPT,
+	"A5": (*Suite).AblationFlatFM,
+	"A6": (*Suite).AblationChunkSize,
+	"A7": (*Suite).AblationSelfSched,
+	"A8": (*Suite).AblationFMRefiner,
+	"F8": (*Suite).Figure8,
+}
+
+// Gantt runs the named execution model on the suite's chemistry workload
+// with tracing enabled and returns a text timeline (width characters per
+// rank).
+func (s *Suite) Gantt(model string, ranks, width int) (string, error) {
+	res, trace, err := s.tracedRun(model, ranks)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\n%s", res, trace.Gantt(ranks, width)), nil
+}
+
+// ChromeTrace runs the named model with tracing and writes the Chrome
+// trace-event JSON to w (open it in chrome://tracing or Perfetto).
+func (s *Suite) ChromeTrace(w io.Writer, model string, ranks int) error {
+	_, trace, err := s.tracedRun(model, ranks)
+	if err != nil {
+		return err
+	}
+	return trace.WriteChromeTrace(w)
+}
+
+func (s *Suite) tracedRun(model string, ranks int) (*core.Result, *cluster.Trace, error) {
+	s.prepare()
+	m, err := core.ModelByName(model, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	machine := s.machine(ranks)
+	machine.Trace = &cluster.Trace{}
+	res := m.Run(s.work, machine)
+	return res, machine.Trace, nil
+}
+
+// Run executes the experiment with the given ID.
+func (s *Suite) Run(id string) (*Table, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return f(s), nil
+}
+
+// All runs every experiment in canonical order.
+func (s *Suite) All() []*Table {
+	var out []*Table
+	for _, id := range Experiments() {
+		t, _ := s.Run(id)
+		out = append(out, t)
+	}
+	return out
+}
+
+func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }

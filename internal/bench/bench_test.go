@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedSuite is reused across tests: workload preparation (Schwarz
+// screening) dominates per-suite cost.
+var sharedSuite = NewSuite("small", 1)
+
+func getCell(t *testing.T, tbl *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d): %+v", tbl.ID, row, col, tbl.Rows)
+	}
+	return tbl.Rows[row][col]
+}
+
+func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(getCell(t, tbl, row, col), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric: %v", tbl.ID, row, col, s, err)
+	}
+	return v
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	for _, id := range Experiments() {
+		tbl, err := sharedSuite.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: ragged row %v vs header %v", id, row, tbl.Header)
+			}
+		}
+		var buf bytes.Buffer
+		tbl.Fprint(&buf)
+		if !strings.Contains(buf.String(), tbl.ID) {
+			t.Errorf("%s: rendering lost the ID", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := sharedSuite.Run("Z9"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewSuiteBadScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSuite("huge", 1)
+}
+
+// T1's claim must reproduce: stealing a solid improvement over static.
+func TestTable1HeadlineShape(t *testing.T) {
+	tbl := sharedSuite.Table1()
+	static := cellFloat(t, tbl, 0, 1)
+	steal := cellFloat(t, tbl, 1, 1)
+	if steal >= 0.8*static {
+		t.Errorf("stealing %v vs static %v: improvement too small", steal, static)
+	}
+}
+
+// T3: semi-matching within 30%% of hypergraph makespan; cheaper schedule.
+func TestTable3Shape(t *testing.T) {
+	tbl := sharedSuite.Table3()
+	smMk := cellFloat(t, tbl, 1, 1)
+	hgMk := cellFloat(t, tbl, 2, 1)
+	if smMk > 1.3*hgMk {
+		t.Errorf("semi-matching %v much worse than hypergraph %v", smMk, hgMk)
+	}
+	smCost := cellFloat(t, tbl, 1, 4)
+	hgCost := cellFloat(t, tbl, 2, 4)
+	if smCost > hgCost {
+		t.Errorf("semi-matching schedule cost %v above hypergraph %v", smCost, hgCost)
+	}
+}
+
+// T4: the cost gap must grow with task count.
+func TestTable4CostGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T4 builds large synthetic workloads")
+	}
+	tbl := sharedSuite.Table4()
+	last := len(tbl.Rows) - 1
+	ratio := cellFloat(t, tbl, last, 3)
+	if ratio < 3 {
+		t.Errorf("hypergraph only %vx more expensive at the largest size", ratio)
+	}
+}
+
+// F1: the workload must be irregular.
+func TestFigure1Irregular(t *testing.T) {
+	tbl := sharedSuite.Figure1()
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "max/mean") {
+		t.Fatalf("F1 notes missing: %v", tbl.Notes)
+	}
+}
+
+// F2: every model's makespan must decrease from P=1 to the largest P.
+func TestFigure2Scales(t *testing.T) {
+	tbl := sharedSuite.Figure2()
+	for _, row := range tbl.Rows {
+		first, err1 := strconv.ParseFloat(row[1], 64)
+		last, err2 := strconv.ParseFloat(row[len(row)-1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if last >= first {
+			t.Errorf("%s does not scale: P=1 %v -> Pmax %v", row[0], first, last)
+		}
+	}
+}
+
+// F4: work stealing's slowdown at max heterogeneity must be below
+// static-cyclic's. (static-cyclic is the clean comparison: its loads are
+// balanced at h=0, so its slowdown is ~1/min-speed. static-block's own
+// baseline bottleneck rank confounds its slowdown ratio — that caveat is
+// part of the figure's story, not an assertable monotone claim.)
+func TestFigure4Shape(t *testing.T) {
+	tbl := sharedSuite.Figure4()
+	var staticSlow, stealSlow float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "static-cyclic":
+			staticSlow = v
+		case "work-stealing":
+			stealSlow = v
+		}
+	}
+	if stealSlow >= staticSlow {
+		t.Errorf("stealing slowdown %v not below static-cyclic %v", stealSlow, staticSlow)
+	}
+}
+
+// F5: counter wait must grow with rank count.
+func TestFigure5ContentionGrows(t *testing.T) {
+	tbl := sharedSuite.Figure5()
+	first := cellFloat(t, tbl, 0, 2)
+	last := cellFloat(t, tbl, len(tbl.Rows)-1, 2)
+	if last <= first {
+		t.Errorf("counter wait did not grow: %v -> %v", first, last)
+	}
+}
+
+// T6: persistence models must improve from their first to their last
+// iteration, while static-block stays flat and bad.
+func TestTable6Shape(t *testing.T) {
+	tbl := sharedSuite.Table6()
+	byModel := map[string][]float64{}
+	for _, row := range tbl.Rows {
+		first, err1 := strconv.ParseFloat(row[2], 64)
+		last, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		byModel[row[0]] = []float64{first, last}
+	}
+	for _, name := range []string{"persistence", "persistence-sm"} {
+		v, ok := byModel[name]
+		if !ok {
+			t.Fatalf("missing %s in T6", name)
+		}
+		if v[1] >= v[0] {
+			t.Errorf("%s did not improve: first %v last %v", name, v[0], v[1])
+		}
+	}
+	sb := byModel["static-block"]
+	if sb[1] != sb[0] {
+		t.Errorf("static-block should be flat: %v", sb)
+	}
+	// Persistence final iteration must beat static-block's.
+	if byModel["persistence"][1] >= sb[1] {
+		t.Errorf("persistence final %v not below static %v", byModel["persistence"][1], sb[1])
+	}
+}
+
+// F7: hierarchical stealing must reduce the remote-steal percentage at
+// every latency.
+func TestFigure7Shape(t *testing.T) {
+	tbl := sharedSuite.Figure7()
+	for _, row := range tbl.Rows {
+		flatPct := strings.TrimSuffix(row[2], "%")
+		hierPct := strings.TrimSuffix(row[4], "%")
+		fv, err1 := strconv.ParseFloat(flatPct, 64)
+		hv, err2 := strconv.ParseFloat(hierPct, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad percentages in row %v", row)
+		}
+		if hv >= fv {
+			t.Errorf("latency %s: hier remote %v%% not below flat %v%%", row[0], hv, fv)
+		}
+	}
+}
+
+func TestChromeTraceAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sharedSuite.ChromeTrace(&buf, "dynamic-counter", 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ph":"X"`) {
+		t.Fatalf("not a Chrome trace: %.100s", buf.String())
+	}
+	if err := sharedSuite.ChromeTrace(&buf, "nope", 4); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestGanttAPI(t *testing.T) {
+	out, err := sharedSuite.Gantt("work-stealing", 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "#") {
+		t.Fatalf("gantt output malformed:\n%s", out)
+	}
+	if _, err := sharedSuite.Gantt("nope", 4, 50); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "long-header", "333", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureSVGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every figure")
+	}
+	dir := t.TempDir()
+	files, err := sharedSuite.FigureSVGs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("wrote %d figures: %v", len(files), files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "polyline") {
+			t.Errorf("%s does not look like a chart", f)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "X",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"experiment,a,b", "X,1,2", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestExperimentsSorted(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 16 {
+		t.Fatalf("expected 16 experiments, got %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("not sorted: %v", ids)
+		}
+	}
+}

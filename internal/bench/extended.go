@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"time"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/cluster"
+	"execmodels/internal/core"
+	"execmodels/internal/dscf"
+	"execmodels/internal/hypergraph"
+)
+
+// Table6 reproduces the end-to-end application view: total time for a
+// full SCF's sequence of Fock builds (one per iteration over the same
+// task set) under each execution model, including the iterative models
+// that exploit persistence. The energy is model-independent — computed
+// once with the serial reference and recorded in the notes as the
+// correctness anchor.
+func (s *Suite) Table6() *Table {
+	s.prepare()
+	p := s.maxRanks()
+	const iters = 10
+	t := &Table{
+		ID:     "T6",
+		Title:  f("end-to-end: %d Fock-build iterations at P=%d", iters, p),
+		Header: []string{"model", "total(s)", "first-iter(s)", "last-iter(s)"},
+	}
+	models := append(core.AllModels(s.Seed),
+		core.SelfScheduling{Policy: core.GuidedChunk{}},
+		core.PersistenceSM{Iterations: iters, Seed: s.Seed},
+	)
+	for _, model := range models {
+		var hist []float64
+		switch mm := model.(type) {
+		case core.Persistence:
+			mm.Iterations = iters
+			_, hist = mm.RunWithHistory(s.work, s.machine(p))
+		case core.PersistenceSM:
+			_, hist = mm.RunWithHistory(s.work, s.machine(p))
+		default:
+			// Non-iterative models repeat the same schedule each
+			// iteration; one run per iteration keeps the noise model
+			// honest.
+			m := s.machine(p)
+			for i := 0; i < iters; i++ {
+				hist = append(hist, model.Run(s.work, m).Makespan)
+			}
+		}
+		var total float64
+		for _, mk := range hist {
+			total += mk
+		}
+		t.Rows = append(t.Rows, []string{
+			model.Name(), f("%.4g", total), f("%.4g", hist[0]), f("%.4g", hist[len(hist)-1]),
+		})
+	}
+	// Correctness anchor: the tiny reference SCF.
+	mol := chem.Water()
+	bs, err := chem.NewBasis("sto-3g", mol)
+	if err == nil {
+		if res, err := chem.RunSCF(mol, bs, chem.SCFOptions{UseDIIS: true}, nil); err == nil {
+			t.Notes = append(t.Notes,
+				f("energies are execution-model independent: E(H2O/STO-3G) = %.6f hartree from the serial reference", res.Energy))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: persistence variants match static on iteration 1, then converge to near-ideal; "+
+			"dynamic/stealing pay their runtime tax every iteration")
+	return t
+}
+
+// Figure6 reproduces the dynamic-variability experiment with DVFS-style
+// throttling *episodes* (as opposed to F4's static per-rank speeds):
+// slowdown as the per-window throttle probability grows.
+func (s *Suite) Figure6() *Table {
+	s.prepare()
+	p := s.maxRanks()
+	probs := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	models := []core.Model{
+		core.StaticCyclic{},
+		core.SelfScheduling{Policy: core.GuidedChunk{}},
+		core.WorkStealing{Seed: s.Seed},
+	}
+	t := &Table{
+		ID:     "F6",
+		Title:  f("slowdown vs DVFS throttle-episode probability at P=%d (10ms windows, 0.5x speed)", p),
+		Header: []string{"model"},
+	}
+	for _, pr := range probs {
+		t.Header = append(t.Header, f("p=%.1f", pr))
+	}
+	for _, model := range models {
+		var base float64
+		row := []string{model.Name()}
+		for i, pr := range probs {
+			m := cluster.New(cluster.Config{Ranks: p, ThrottleProb: pr, Seed: s.Seed})
+			res := model.Run(s.work, m)
+			if i == 0 {
+				base = res.Makespan
+			}
+			row = append(row, f("%.3f", res.Makespan/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: all models slow with lost cycles (~1/(1-p/2)); episodes hurt the static "+
+			"schedule more because its critical rank cannot shed work mid-episode")
+	return t
+}
+
+// Figure7 reproduces the topology experiment: flat versus hierarchical
+// (node-aware) work stealing on a multicore cluster as the inter-node
+// network slows down, reporting both makespan and the fraction of steals
+// that cross a node boundary.
+func (s *Suite) Figure7() *Table {
+	s.prepare()
+	cores := 4
+	nodes := s.maxRanks() / cores
+	if nodes < 2 {
+		nodes = 2
+	}
+	t := &Table{
+		ID: "F7",
+		Title: f("flat vs hierarchical stealing, %d nodes x %d cores, vs inter-node latency",
+			nodes, cores),
+		Header: []string{"latency(us)", "flat-makespan", "flat-remote%", "hier-makespan", "hier-remote%"},
+	}
+	for _, lat := range []float64{1e-6, 5e-6, 20e-6, 80e-6} {
+		mk := func() *cluster.Machine {
+			return cluster.New(cluster.Config{
+				Ranks: nodes * cores, CoresPerNode: cores, Latency: lat, Seed: s.Seed,
+			})
+		}
+		flat := core.WorkStealing{Seed: s.Seed}.Run(s.work, mk())
+		hier := core.WorkStealing{Hierarchical: true, Seed: s.Seed}.Run(s.work, mk())
+		pct := func(r *core.Result) string {
+			if r.Steals == 0 {
+				return "n/a"
+			}
+			return f("%.0f%%", 100*float64(r.RemoteSteals)/float64(r.Steals))
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%.0f", lat*1e6),
+			f("%.4g", flat.Makespan), pct(flat),
+			f("%.4g", hier.Makespan), pct(hier),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: hierarchical keeps the remote fraction low at every latency; "+
+			"its makespan advantage appears once remote round-trips dominate steal cost")
+	return t
+}
+
+// Table7 reproduces the application-context view: per-phase time
+// breakdown of the surrounding SCF (Fock build / Fock reduction /
+// diagonalization / density broadcast) as the machine grows. The Fock
+// build is the only phase the execution models touch, and its share of
+// the iteration shrinks with scale — the Amdahl ceiling on what any
+// execution-model improvement can deliver.
+func (s *Suite) Table7() *Table {
+	s.prepare()
+	// Two basis dimensions: the suite's actual system, where the O(N³)
+	// diagonalization is negligible, and a production-sized one (the
+	// regime the original GA-era SCF codes ran in), where the replicated
+	// diagonalization caps the scaling no matter how good the Fock-build
+	// execution model is.
+	sizes := []int{s.bs.NBF, 2000}
+	t := &Table{
+		ID:     "T7",
+		Title:  "SCF phase breakdown vs scale (replicated diagonalization)",
+		Header: []string{"NBF", "P", "fock(s)", "reduce(s)", "diag(s)", "bcast(s)", "fock-share"},
+	}
+	for _, nbf := range sizes {
+		for _, p := range s.rankSweep() {
+			res, err := dscf.Run(dscf.Config{
+				NBF: nbf, Iterations: 5, ReplicatedDiag: true,
+			}, core.WorkStealing{Seed: s.Seed}, s.work, s.machine(p))
+			if err != nil {
+				panic(err)
+			}
+			b := res.Breakdown()
+			t.Rows = append(t.Rows, []string{
+				f("%d", nbf), f("%d", p),
+				f("%.4g", b.Fock), f("%.4g", b.Reduce), f("%.4g", b.Diag), f("%.4g", b.Broadcast),
+				f("%.2f", res.FockFraction),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: at the small NBF the fock build dominates everywhere; at the production "+
+			"NBF its share collapses with P as the flat replicated diagonalization takes over — "+
+			"the Amdahl ceiling on any execution-model improvement")
+	return t
+}
+
+// AblationFMRefiner (A8) compares the greedy positive-gain refiner with
+// the Fiduccia–Mattheyses tentative-move/rollback refiner inside the
+// multilevel partitioner: cut quality versus partitioning cost.
+func (s *Suite) AblationFMRefiner() *Table {
+	s.prepare()
+	p := s.maxRanks()
+	h := core.BuildHypergraph(s.work)
+	t := &Table{
+		ID:     "A8",
+		Title:  f("greedy vs FM refinement inside the multilevel partitioner, k=%d", p),
+		Header: []string{"refiner", "cut(bytes)", "imbalance", "cost(s,real)"},
+	}
+	for _, fm := range []bool{false, true} {
+		start := time.Now()
+		res := hypergraph.Partition(h, p, hypergraph.Options{Seed: s.Seed, FM: fm})
+		cost := time.Since(start).Seconds()
+		name := "greedy"
+		if fm {
+			name = "fm-rollback"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, f("%.4g", res.Cut), f("%.4f", res.Imbalance), f("%.3g", cost),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected: comparable cuts at comparable cost on this instance; FM's rollback wins "+
+			"decisively on plateau-rich inputs (see the hypergraph package's TestFMEscapesPlateau) "+
+			"where greedy's positive-gain-only moves stall")
+	return t
+}
+
+// Figure8 reproduces the locality-structure experiment: the same
+// execution models on a compact 3-D water cluster (every shell near every
+// other) versus a 1-D alkane chain (banded sparsity). Locality-aware
+// balancers profit where structure exists; compact clusters leave little
+// to exploit.
+func (s *Suite) Figure8() *Table {
+	carbons := 8
+	if s.Scale == "paper" {
+		carbons = 20
+	}
+	t := &Table{
+		ID:     "F8",
+		Title:  f("workload structure: compact cluster vs C%d alkane chain", carbons),
+		Header: []string{"workload", "tasks", "model", "makespan(s)", "comm(s,total)"},
+	}
+	s.prepare()
+	alk := chem.Alkane(carbons)
+	abs_, err := chem.NewBasis("sto-3g", alk)
+	if err != nil {
+		panic(err)
+	}
+	aw := core.FromFock(chem.BuildFockWorkload(abs_, 1e-9, 4))
+
+	p := s.maxRanks()
+	for _, wl := range []struct {
+		name string
+		w    *core.Workload
+	}{
+		{"water-cluster", s.work},
+		{"alkane-chain", aw},
+	} {
+		for _, model := range []core.Model{
+			core.StaticCyclic{},
+			core.SemiMatchingLB{Seed: s.Seed},
+			core.HypergraphLB{Seed: s.Seed},
+		} {
+			res := model.Run(wl.w, s.machine(p))
+			var comm float64
+			for _, c := range res.CommTime {
+				comm += c
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.name, f("%d", len(wl.w.Tasks)), model.Name(),
+				f("%.4g", res.Makespan), f("%.4g", comm),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: on the banded alkane the locality-aware balancers cut communication "+
+			"hardest relative to cost-oblivious cyclic; screening also removes far more quartets")
+	return t
+}
+
+// AblationSelfSched (A7) compares the chunk-policy family head to head:
+// fixed-1, fixed-16, guided, factoring.
+func (s *Suite) AblationSelfSched() *Table {
+	s.prepare()
+	p := s.maxRanks()
+	t := &Table{
+		ID:     "A7",
+		Title:  f("self-scheduling chunk policies at P=%d", p),
+		Header: []string{"policy", "makespan(s)", "counter-ops", "counter-wait(s)", "imbalance"},
+	}
+	for _, model := range []core.Model{
+		core.DynamicCounter{Chunk: 1},
+		core.DynamicCounter{Chunk: 16},
+		core.SelfScheduling{Policy: core.GuidedChunk{}},
+		core.SelfScheduling{Policy: core.FactoringChunk{}},
+	} {
+		res := model.Run(s.work, s.machine(p))
+		name := model.Name()
+		if dc, ok := model.(core.DynamicCounter); ok {
+			name = f("fixed-%d", dc.Chunk)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, f("%.4g", res.Makespan),
+			f("%d", res.CounterOps), f("%.3g", res.CounterWait),
+			f("%.3f", res.LoadImbalance()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected: guided/factoring cut counter traffic by an order of magnitude at equal or better makespan")
+	return t
+}

@@ -1,0 +1,56 @@
+package chem
+
+import "math"
+
+// Boys fills out[0..mmax] with the Boys function values
+//
+//	F_m(x) = ∫₀¹ t^{2m} exp(-x t²) dt,  m = 0..mmax,
+//
+// which are the radial kernels of all Coulomb-type Gaussian integrals.
+//
+// For small x the top order is computed by its (rapidly converging) power
+// series and lower orders follow from the numerically stable downward
+// recursion F_m = (2x·F_{m+1} + e^{-x}) / (2m+1). For large x the
+// asymptotic form of F_0 seeds the upward recursion, which is stable there
+// because e^{-x} is negligible.
+func Boys(mmax int, x float64, out []float64) {
+	if len(out) < mmax+1 {
+		panic("chem: Boys output slice too short")
+	}
+	switch {
+	case x < 1e-14:
+		for m := 0; m <= mmax; m++ {
+			out[m] = 1 / float64(2*m+1)
+		}
+	case x < 35:
+		out[mmax] = boysSeries(mmax, x)
+		ex := math.Exp(-x)
+		for m := mmax - 1; m >= 0; m-- {
+			out[m] = (2*x*out[m+1] + ex) / float64(2*m+1)
+		}
+	default:
+		out[0] = 0.5 * math.Sqrt(math.Pi/x)
+		ex := math.Exp(-x) // ~0 but keep for x just above the cutoff
+		for m := 0; m < mmax; m++ {
+			out[m+1] = (float64(2*m+1)*out[m] - ex) / (2 * x)
+		}
+	}
+}
+
+// boysSeries evaluates F_m(x) by the series
+//
+//	F_m(x) = e^{-x} Σ_{i≥0} (2m-1)!! (2x)^i / (2m+2i+1)!!
+//
+// which converges quickly for the x range it is used on (x < 35).
+func boysSeries(m int, x float64) float64 {
+	term := 1 / float64(2*m+1)
+	sum := term
+	for i := 1; i < 200; i++ {
+		term *= 2 * x / float64(2*m+2*i+1)
+		sum += term
+		if term < 1e-17*sum {
+			break
+		}
+	}
+	return sum * math.Exp(-x)
+}

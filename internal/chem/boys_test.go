@@ -1,0 +1,103 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoysAtZero(t *testing.T) {
+	out := make([]float64, 6)
+	Boys(5, 0, out)
+	for m := 0; m <= 5; m++ {
+		want := 1 / float64(2*m+1)
+		if math.Abs(out[m]-want) > 1e-14 {
+			t.Fatalf("F_%d(0) = %v, want %v", m, out[m], want)
+		}
+	}
+}
+
+// F_0(x) = sqrt(pi/x)/2 * erf(sqrt(x)) exactly.
+func TestBoysF0AgainstErf(t *testing.T) {
+	out := make([]float64, 1)
+	for _, x := range []float64{1e-8, 0.1, 0.5, 1, 2, 5, 10, 20, 34.9, 35.1, 50, 100, 500} {
+		Boys(0, x, out)
+		want := 0.5 * math.Sqrt(math.Pi/x) * math.Erf(math.Sqrt(x))
+		if math.Abs(out[0]-want) > 1e-12*math.Max(1, want) {
+			t.Errorf("F_0(%v) = %.15g, want %.15g", x, out[0], want)
+		}
+	}
+}
+
+// Upward recursion identity: F_{m+1} = ((2m+1) F_m - e^{-x}) / (2x).
+func TestBoysRecursionIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rng.Float64() * 60
+		if x < 1e-6 {
+			x = 1e-6
+		}
+		out := make([]float64, 9)
+		Boys(8, x, out)
+		ex := math.Exp(-x)
+		for m := 0; m < 8; m++ {
+			want := (float64(2*m+1)*out[m] - ex) / (2 * x)
+			if math.Abs(out[m+1]-want) > 1e-10*math.Max(1e-8, out[m]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// F_m is positive and decreasing in m for x > 0.
+func TestBoysMonotoneInOrder(t *testing.T) {
+	out := make([]float64, 11)
+	for _, x := range []float64{0.01, 1, 10, 40, 200} {
+		Boys(10, x, out)
+		for m := 0; m <= 10; m++ {
+			if out[m] <= 0 {
+				t.Fatalf("F_%d(%v) = %v, want > 0", m, x, out[m])
+			}
+			if m > 0 && out[m] >= out[m-1] {
+				t.Fatalf("F_%d(%v)=%v >= F_%d=%v", m, x, out[m], m-1, out[m-1])
+			}
+		}
+	}
+}
+
+// Both branches must agree with the closed form near the series/asymptotic
+// switch at x = 35 (F itself has slope ~-2e-3 there, so comparing the two
+// branch outputs at different x directly would mostly measure that slope).
+func TestBoysContinuityAtSwitch(t *testing.T) {
+	out := make([]float64, 1)
+	for _, x := range []float64{34.999999, 35.000001} {
+		Boys(0, x, out)
+		want := 0.5 * math.Sqrt(math.Pi/x) * math.Erf(math.Sqrt(x))
+		if math.Abs(out[0]-want) > 1e-12*want {
+			t.Fatalf("F_0(%v) = %.15g, want %.15g", x, out[0], want)
+		}
+	}
+}
+
+// Known literature value: F_0(1) ≈ 0.7468241328 (= sqrt(pi)/2 erf(1)).
+func TestBoysKnownValue(t *testing.T) {
+	out := make([]float64, 1)
+	Boys(0, 1, out)
+	if math.Abs(out[0]-0.7468241328124270) > 1e-12 {
+		t.Fatalf("F_0(1) = %.15g", out[0])
+	}
+}
+
+func TestBoysShortSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Boys(3, 1, make([]float64, 3))
+}

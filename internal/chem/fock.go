@@ -1,0 +1,266 @@
+package chem
+
+import (
+	"math"
+	"sort"
+
+	"execmodels/internal/linalg"
+)
+
+// eriGetter returns the integral (ab|cd) for function offsets within a
+// permuted view of a shell-quartet block.
+type eriGetter func(fa, fb, fc, fd int) float64
+
+// digestJK scatters one ordered shell-quartet block into the Coulomb (J)
+// and exchange (K) accumulators:
+//
+//	J[μν] += DJ[λσ]·(μν|λσ)      K_i[μλ] += DK_i[νσ]·(μν|λσ)
+//
+// with μ∈a, ν∈b, λ∈c, σ∈d. The Coulomb and exchange terms may contract
+// different densities (RHF uses the same one; UHF contracts the total
+// density for J and the per-spin densities for the two Ks). Callers are
+// responsible for enumerating every distinct shell-index permutation of a
+// unique quartet exactly once, which together reproduces the full
+// unrestricted contraction.
+func digestJK(j *linalg.Matrix, dj *linalg.Matrix, ks, dks []*linalg.Matrix, a, b, c, dd *Shell, get eriGetter) {
+	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), dd.NumFuncs()
+	kAcc := make([]float64, len(ks))
+	for fa := 0; fa < na; fa++ {
+		mu := a.Start + fa
+		for fb := 0; fb < nb; fb++ {
+			nu := b.Start + fb
+			var jAcc float64
+			for fc := 0; fc < nc; fc++ {
+				lam := c.Start + fc
+				for i := range kAcc {
+					kAcc[i] = 0
+				}
+				for fd := 0; fd < nd; fd++ {
+					sig := dd.Start + fd
+					v := get(fa, fb, fc, fd)
+					jAcc += dj.At(lam, sig) * v
+					for i, dk := range dks {
+						kAcc[i] += dk.At(nu, sig) * v
+					}
+				}
+				for i, k := range ks {
+					k.Add(mu, lam, kAcc[i])
+				}
+			}
+			j.Add(mu, nu, jAcc)
+		}
+	}
+}
+
+// quartetPermutations enumerates the distinct shell-index permutations of
+// the unique quartet (a,b,c,d) under the 8-fold integral symmetry
+// (ab|cd) = (ba|cd) = (ab|dc) = (ba|dc) = (cd|ab) = (dc|ab) = (cd|ba) = (dc|ba).
+// Each permutation is returned as the four original-block roles for the
+// (bra1, bra2, ket1, ket2) positions: e.g. [1 0 2 3] means the permuted
+// view is (ba|cd) and its (fa,fb,fc,fd) element reads the original block
+// at (fb,fa,fc,fd).
+func quartetPermutations(a, b, c, d int) [][4]int {
+	all := [][4]int{
+		{0, 1, 2, 3}, {1, 0, 2, 3}, {0, 1, 3, 2}, {1, 0, 3, 2},
+		{2, 3, 0, 1}, {3, 2, 0, 1}, {2, 3, 1, 0}, {3, 2, 1, 0},
+	}
+	ids := [4]int{a, b, c, d}
+	seen := make(map[[4]int]bool, 8)
+	var out [][4]int
+	for _, p := range all {
+		key := [4]int{ids[p[0]], ids[p[1]], ids[p[2]], ids[p[3]]}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// digestUniqueQuartet digests the precomputed ERI block of the unique
+// quartet, scattering every distinct permutation into J and the K
+// accumulators. shells is the full shell list; ia..id index into it; blk
+// is laid out as ERIBlock(ia, ib, ic, id).
+func digestUniqueQuartet(j, dj *linalg.Matrix, ks, dks []*linalg.Matrix, shells []Shell, ia, ib, ic, id int, blk []float64) {
+	sh := [4]*Shell{&shells[ia], &shells[ib], &shells[ic], &shells[id]}
+	nb, nc, nd := sh[1].NumFuncs(), sh[2].NumFuncs(), sh[3].NumFuncs()
+	orig := func(fa, fb, fc, fd int) float64 {
+		return blk[((fa*nb+fb)*nc+fc)*nd+fd]
+	}
+	for _, p := range quartetPermutations(ia, ib, ic, id) {
+		p := p
+		get := func(fa, fb, fc, fd int) float64 {
+			f := [4]int{fa, fb, fc, fd}
+			// Position i of the permuted view holds original role p[i]; to
+			// read the original block we place each permuted index back
+			// into its original role.
+			var g [4]int
+			g[p[0]], g[p[1]], g[p[2]], g[p[3]] = f[0], f[1], f[2], f[3]
+			return orig(g[0], g[1], g[2], g[3])
+		}
+		digestJK(j, dj, ks, dks, sh[p[0]], sh[p[1]], sh[p[2]], sh[p[3]], get)
+	}
+}
+
+// pairIndex maps a shell pair i <= j to its canonical triangular index.
+func pairIndex(i, j int) int { return j*(j+1)/2 + i }
+
+// FockTask is one work unit of the two-electron Fock build: a contiguous
+// block of unique bra shell-pairs. Executing the task computes, for every
+// bra pair in the block, all surviving unique quartets with ket pair index
+// <= bra pair index, and digests them into partial J/K matrices.
+type FockTask struct {
+	ID         int
+	BraPairs   []ShellPair // the bra pairs owned by this task
+	PairOffset int         // index of BraPairs[0] within the workload's Pairs
+	EstFlops   float64     // cost-model estimate (ERIBlockFlops sum, post-screening)
+	NumQuarts  int         // surviving quartets (post-screening)
+}
+
+// FockWorkload is the screened, blocked decomposition of one Fock build.
+type FockWorkload struct {
+	Basis     *BasisSet
+	Pairs     []ShellPair // significant pairs, sorted by ascending pair index
+	Tasks     []FockTask
+	Threshold float64
+
+	// pairData caches the per-pair Hermite tables aligned with Pairs:
+	// computed once, reused by every quartet the pair participates in.
+	pairData []*PairData
+}
+
+// BuildFockWorkload screens the shell pairs of bs at threshold and groups
+// the surviving bra pairs into tasks of blockSize consecutive pairs. Task
+// costs are estimated with the deterministic flop model, so schedulers can
+// be studied both with and without cost knowledge.
+func BuildFockWorkload(bs *BasisSet, threshold float64, blockSize int) *FockWorkload {
+	return BuildFockWorkloadFromPairs(bs, SchwarzBounds(bs), threshold, blockSize)
+}
+
+// BuildFockWorkloadFromPairs is BuildFockWorkload with precomputed Schwarz
+// bounds, so granularity sweeps can re-block the same screening data
+// without recomputing the (ij|ij) integrals each time.
+func BuildFockWorkloadFromPairs(bs *BasisSet, allPairs []ShellPair, threshold float64, blockSize int) *FockWorkload {
+	if blockSize < 1 {
+		panic("chem: blockSize must be >= 1")
+	}
+	pairs := SignificantPairs(allPairs, threshold)
+	// Sort by canonical triangular pair index so slice position and
+	// pairIndex induce the same total order; the bra >= ket uniqueness
+	// criterion below then agrees exactly between cost estimation and
+	// execution.
+	sort.Slice(pairs, func(a, b int) bool {
+		return pairIndex(pairs[a].I, pairs[a].J) < pairIndex(pairs[b].I, pairs[b].J)
+	})
+	w := &FockWorkload{Basis: bs, Pairs: pairs, Threshold: threshold}
+	w.pairData = make([]*PairData, len(pairs))
+	for i, p := range pairs {
+		w.pairData[i] = NewPairData(&bs.Shells[p.I], &bs.Shells[p.J])
+	}
+	for start := 0; start < len(pairs); start += blockSize {
+		end := start + blockSize
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		t := FockTask{ID: len(w.Tasks), BraPairs: pairs[start:end], PairOffset: start}
+		for bi := start; bi < end; bi++ {
+			bra := pairs[bi]
+			for ki := 0; ki <= bi; ki++ {
+				ket := pairs[ki]
+				if bra.Bound*ket.Bound < threshold {
+					continue
+				}
+				t.EstFlops += ERIBlockFlops(
+					&bs.Shells[bra.I], &bs.Shells[bra.J],
+					&bs.Shells[ket.I], &bs.Shells[ket.J])
+				t.NumQuarts++
+			}
+		}
+		w.Tasks = append(w.Tasks, t)
+	}
+	return w
+}
+
+// ExecuteTask runs one Fock task against density d, accumulating into the
+// caller's partial J and K matrices. It returns the number of quartets
+// actually computed.
+//
+// The bra/ket pair enumeration must match BuildFockWorkload's cost
+// estimate: for each bra pair, all ket pairs with index <= the bra's
+// global pair position survive screening symmetry (each unique quartet is
+// visited exactly once across all tasks).
+func (w *FockWorkload) ExecuteTask(t *FockTask, d, j, k *linalg.Matrix) int {
+	return w.executeTask(t, d, []*linalg.Matrix{k}, []*linalg.Matrix{d}, j)
+}
+
+// ExecuteTaskSpin is the unrestricted (UHF) variant: J contracts the
+// total density while separate exchange matrices contract the α and β
+// densities.
+func (w *FockWorkload) ExecuteTaskSpin(t *FockTask, dTot, dA, dB, j, kA, kB *linalg.Matrix) int {
+	return w.executeTask(t, dTot, []*linalg.Matrix{kA, kB}, []*linalg.Matrix{dA, dB}, j)
+}
+
+func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*linalg.Matrix, j *linalg.Matrix) int {
+	shells := w.Basis.Shells
+	var done int
+	for bi, bra := range t.BraPairs {
+		braPD := w.pairData[t.PairOffset+bi]
+		for ki, ket := range w.Pairs {
+			if t.PairOffset+bi < ki {
+				break // pairs are sorted by pairIndex; ket index exceeds bra's
+			}
+			if bra.Bound*ket.Bound < w.Threshold {
+				continue
+			}
+			blk := ERIBlockPair(braPD, w.pairData[ki])
+			digestUniqueQuartet(j, dj, ks, dks, shells, bra.I, bra.J, ket.I, ket.J, blk)
+			done++
+		}
+	}
+	return done
+}
+
+// TotalFlops returns the summed cost estimate across all tasks.
+func (w *FockWorkload) TotalFlops() float64 {
+	var s float64
+	for _, t := range w.Tasks {
+		s += t.EstFlops
+	}
+	return s
+}
+
+// BuildFock computes F = H + J - K/2 serially from density d, using the
+// workload's screened quartet list. It is the reference implementation the
+// parallel execution models are validated against.
+func (w *FockWorkload) BuildFock(h, d *linalg.Matrix) *linalg.Matrix {
+	n := w.Basis.NBF
+	j := linalg.NewMatrix(n, n)
+	k := linalg.NewMatrix(n, n)
+	for i := range w.Tasks {
+		w.ExecuteTask(&w.Tasks[i], d, j, k)
+	}
+	f := h.Clone()
+	f.AddScaled(1, j)
+	f.AddScaled(-0.5, k)
+	// Screening drops tiny asymmetric contributions; restore exact symmetry.
+	f.Symmetrize()
+	return f
+}
+
+// CostImbalance returns max/mean of the task cost estimates, a quick
+// measure of how irregular the workload is before any scheduling.
+func (w *FockWorkload) CostImbalance() float64 {
+	if len(w.Tasks) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, t := range w.Tasks {
+		sum += t.EstFlops
+		max = math.Max(max, t.EstFlops)
+	}
+	mean := sum / float64(len(w.Tasks))
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}

@@ -1,0 +1,139 @@
+package chem
+
+import "math"
+
+// hermiteE holds the McMurchie–Davidson Hermite expansion coefficients
+// E_t^{ij} for one Cartesian dimension of one primitive pair: the overlap
+// distribution x_A^i x_B^j exp(-a r_A²) exp(-b r_B²) expanded in Hermite
+// Gaussians Λ_t centred at P.
+//
+// Indexing: e.at(i, j, t), valid for 0 <= i <= imax, 0 <= j <= jmax,
+// 0 <= t <= i+j (coefficients outside that band are zero).
+type hermiteE struct {
+	imax, jmax int
+	data       []float64 // [(imax+1) x (jmax+1) x (imax+jmax+1)]
+}
+
+func (e *hermiteE) at(i, j, t int) float64 {
+	if t < 0 || t > i+j {
+		return 0
+	}
+	return e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t]
+}
+
+func (e *hermiteE) set(i, j, t int, v float64) {
+	e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t] = v
+}
+
+// newHermiteE builds the E table for exponents a, b and center separation
+// ab = A - B along one dimension, for angular momenta up to imax, jmax.
+//
+// Recurrences (Helgaker, Jørgensen & Olsen, ch. 9):
+//
+//	E_t^{00}    = exp(-μ ab²)
+//	E_t^{i+1,j} = E_{t-1}^{ij}/(2p) + X_PA E_t^{ij} + (t+1) E_{t+1}^{ij}
+//	E_t^{i,j+1} = E_{t-1}^{ij}/(2p) + X_PB E_t^{ij} + (t+1) E_{t+1}^{ij}
+func newHermiteE(imax, jmax int, a, b, ab float64) *hermiteE {
+	e := &hermiteE{
+		imax: imax,
+		jmax: jmax,
+		data: make([]float64, (imax+1)*(jmax+1)*(imax+jmax+1)),
+	}
+	p := a + b
+	mu := a * b / p
+	xpa := -b / p * ab // P - A
+	xpb := a / p * ab  // P - B
+
+	e.set(0, 0, 0, math.Exp(-mu*ab*ab))
+	// Build up i at j = 0.
+	for i := 0; i < imax; i++ {
+		for t := 0; t <= i+1; t++ {
+			v := e.at(i, 0, t-1)/(2*p) + xpa*e.at(i, 0, t) + float64(t+1)*e.at(i, 0, t+1)
+			e.set(i+1, 0, t, v)
+		}
+	}
+	// Build up j for every i.
+	for i := 0; i <= imax; i++ {
+		for j := 0; j < jmax; j++ {
+			for t := 0; t <= i+j+1; t++ {
+				v := e.at(i, j, t-1)/(2*p) + xpb*e.at(i, j, t) + float64(t+1)*e.at(i, j, t+1)
+				e.set(i, j+1, t, v)
+			}
+		}
+	}
+	return e
+}
+
+// hermiteR holds the Hermite Coulomb integrals R^0_{tuv}(p, PC) needed to
+// assemble nuclear-attraction and electron-repulsion integrals.
+type hermiteR struct {
+	tmax int
+	data []float64 // [(tmax+1)^3], index (t*(tmax+1)+u)*(tmax+1)+v
+}
+
+func (r *hermiteR) at(t, u, v int) float64 {
+	n := r.tmax + 1
+	return r.data[(t*n+u)*n+v]
+}
+
+// newHermiteR computes R^0_{tuv} for all t+u+v <= tmax, with Gaussian
+// exponent p and separation pc = P - C.
+//
+//	R^n_{000}    = (-2p)^n F_n(p·|PC|²)
+//	R^n_{t+1,uv} = t R^{n+1}_{t-1,uv} + X_PC R^{n+1}_{tuv}   (same for u, v)
+//
+// The computation runs over an auxiliary order-n dimension, consuming one
+// order per unit of total angular momentum.
+func newHermiteR(tmax int, p float64, pc Vec3) *hermiteR {
+	n1 := tmax + 1
+	boysVals := make([]float64, n1)
+	Boys(tmax, p*pc.Norm2(), boysVals)
+
+	// cur[n][t][u][v] at auxiliary order n; we store a full (tmax+1)^3 cube
+	// per order. tmax stays <= ~8 for d functions so the cubes are small.
+	cube := func() []float64 { return make([]float64, n1*n1*n1) }
+	idx := func(t, u, v int) int { return (t*n1+u)*n1 + v }
+
+	orders := make([][]float64, n1+1)
+	for n := 0; n <= tmax; n++ {
+		orders[n] = cube()
+		f := 1.0
+		for k := 0; k < n; k++ {
+			f *= -2 * p
+		}
+		orders[n][idx(0, 0, 0)] = f * boysVals[n]
+	}
+
+	// Fill v, then u, then t, consuming auxiliary orders top-down: the
+	// value R^n_{tuv} requires R^{n+1} entries with one lower total index.
+	for total := 1; total <= tmax; total++ {
+		for n := 0; n <= tmax-total; n++ {
+			dst, src := orders[n], orders[n+1]
+			for t := 0; t <= total; t++ {
+				for u := 0; u <= total-t; u++ {
+					v := total - t - u
+					var val float64
+					switch {
+					case t > 0:
+						if t > 1 {
+							val = float64(t-1) * src[idx(t-2, u, v)]
+						}
+						val += pc.X * src[idx(t-1, u, v)]
+					case u > 0:
+						if u > 1 {
+							val = float64(u-1) * src[idx(t, u-2, v)]
+						}
+						val += pc.Y * src[idx(t, u-1, v)]
+					default: // v > 0
+						if v > 1 {
+							val = float64(v-1) * src[idx(t, u, v-2)]
+						}
+						val += pc.Z * src[idx(t, u, v-1)]
+					}
+					dst[idx(t, u, v)] = val
+				}
+			}
+		}
+	}
+	return &hermiteR{tmax: tmax, data: orders[0]}
+}

@@ -1,0 +1,94 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+// H3O⁺ (hydronium): a closed-shell cation, 10 electrons. The RHF energy
+// is ≈ -75.3 hartree in STO-3G at a reasonable geometry.
+func TestSCFHydronium(t *testing.T) {
+	const (
+		roh   = 0.98 * angstrom
+		theta = 113.0 * math.Pi / 180
+	)
+	// Trigonal-pyramidal-ish: three H around O.
+	mol := &Molecule{Name: "H3O+", Charge: 1}
+	mol.Atoms = append(mol.Atoms, Atom{Z: 8})
+	for k := 0; k < 3; k++ {
+		phi := 2 * math.Pi * float64(k) / 3
+		mol.Atoms = append(mol.Atoms, Atom{Z: 1, Pos: Vec3{
+			X: roh * math.Sin(theta/2) * math.Cos(phi),
+			Y: roh * math.Sin(theta/2) * math.Sin(phi),
+			Z: roh * math.Cos(theta/2),
+		}})
+	}
+	if mol.NumElectrons() != 10 {
+		t.Fatalf("%d electrons", mol.NumElectrons())
+	}
+	bs := mustBasis(t, "sto-3g", mol)
+	res, err := RunSCF(mol, bs, SCFOptions{UseDIIS: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if res.Energy > -75.0 || res.Energy < -75.6 {
+		t.Errorf("E(H3O+) = %v, want ≈ -75.3", res.Energy)
+	}
+}
+
+// OH⁻ (hydroxide): a closed-shell anion.
+func TestSCFHydroxide(t *testing.T) {
+	mol := &Molecule{
+		Name:   "OH-",
+		Charge: -1,
+		Atoms: []Atom{
+			{Z: 8},
+			{Z: 1, Pos: Vec3{Z: 0.97 * angstrom}},
+		},
+	}
+	if mol.NumElectrons() != 10 {
+		t.Fatalf("%d electrons", mol.NumElectrons())
+	}
+	bs := mustBasis(t, "sto-3g", mol)
+	res, err := RunSCF(mol, bs, SCFOptions{UseDIIS: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	// STO-3G OH⁻ sits around -74.05..-74.5 hartree.
+	if res.Energy > -73.8 || res.Energy < -74.8 {
+		t.Errorf("E(OH-) = %v", res.Energy)
+	}
+}
+
+// A doublet cation through UHF: H2O⁺.
+func TestUHFWaterCation(t *testing.T) {
+	mol := Water()
+	mol.Charge = 1 // 9 electrons, doublet
+	bs := mustBasis(t, "sto-3g", mol)
+	res, err := RunUHF(mol, bs, UHFOptions{MaxIter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NAlpha != 5 || res.NBeta != 4 {
+		t.Fatalf("occupation %dα/%dβ", res.NAlpha, res.NBeta)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	// Ionization: E(H2O+) must lie above E(H2O) by roughly the first IP
+	// (~0.3-0.5 hartree at this level).
+	neutral, err := RunSCF(Water(), bs, SCFOptions{UseDIIS: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := res.Energy - neutral.Energy
+	if ip < 0.1 || ip > 0.8 {
+		t.Errorf("vertical IP = %v hartree, implausible", ip)
+	}
+}

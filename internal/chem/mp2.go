@@ -1,0 +1,94 @@
+package chem
+
+import (
+	"fmt"
+
+	"execmodels/internal/linalg"
+)
+
+// FullERITensor builds the dense two-electron-integral tensor (μν|λσ)
+// over all basis functions, by brute force over every ordered shell
+// quartet. It is O(N⁴) memory and intended for small systems: MP2, the
+// Fock-build test oracle, and pedagogy.
+func FullERITensor(bs *BasisSet) []float64 {
+	n := bs.NBF
+	eri := make([]float64, n*n*n*n)
+	for ia := range bs.Shells {
+		for ib := range bs.Shells {
+			for ic := range bs.Shells {
+				for id := range bs.Shells {
+					a, b, c, d := &bs.Shells[ia], &bs.Shells[ib], &bs.Shells[ic], &bs.Shells[id]
+					blk := ERIBlock(a, b, c, d)
+					na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
+					for fa := 0; fa < na; fa++ {
+						for fb := 0; fb < nb; fb++ {
+							for fc := 0; fc < nc; fc++ {
+								for fd := 0; fd < nd; fd++ {
+									mu, nu := a.Start+fa, b.Start+fb
+									lam, sig := c.Start+fc, d.Start+fd
+									eri[((mu*n+nu)*n+lam)*n+sig] = blk[((fa*nb+fb)*nc+fc)*nd+fd]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return eri
+}
+
+// MP2Energy computes the closed-shell second-order Møller–Plesset
+// correlation energy from a converged SCF result:
+//
+//	E(2) = Σ_{ijab} (ia|jb)·[2(ia|jb) − (ib|ja)] / (εi + εj − εa − εb)
+//
+// with i,j occupied and a,b virtual spatial orbitals. The AO→MO transform
+// is done as four quarter-transformations, O(N⁵).
+func MP2Energy(bs *BasisSet, scf *SCFResult) (float64, error) {
+	return MP2EnergyFrozen(bs, scf, 0)
+}
+
+// MP2EnergyFrozen is MP2Energy with the lowest nFrozen occupied orbitals
+// excluded from the correlation treatment (the frozen-core
+// approximation; chemical-core orbitals contribute little correlation
+// but dominate the cost through their large denominators).
+func MP2EnergyFrozen(bs *BasisSet, scf *SCFResult, nFrozen int) (float64, error) {
+	if !scf.Converged {
+		return 0, fmt.Errorf("chem: MP2 on an unconverged SCF reference")
+	}
+	n := bs.NBF
+	nocc := scf.NOcc
+	if nocc <= 0 || nocc >= n {
+		return 0, fmt.Errorf("chem: MP2 needs 0 < nocc < nbf, have %d/%d", nocc, n)
+	}
+	if nFrozen < 0 || nFrozen >= nocc {
+		return 0, fmt.Errorf("chem: cannot freeze %d of %d occupied orbitals", nFrozen, nocc)
+	}
+	ao := FullERITensor(bs)
+	mo := transformERI(ao, scf.C, n)
+
+	var e float64
+	for i := nFrozen; i < nocc; i++ {
+		for j := nFrozen; j < nocc; j++ {
+			for a := nocc; a < n; a++ {
+				for b := nocc; b < n; b++ {
+					iajb := mo[((i*n+a)*n+j)*n+b]
+					ibja := mo[((i*n+b)*n+j)*n+a]
+					denom := scf.OrbitalE[i] + scf.OrbitalE[j] - scf.OrbitalE[a] - scf.OrbitalE[b]
+					e += iajb * (2*iajb - ibja) / denom
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// transformERI performs the four-index AO→MO transformation
+// (pq|rs) = Σ C_μp C_νq C_λr C_σs (μν|λσ) via quarter transforms (each
+// pass contracts the leading AO index and rotates it to the back, so four
+// passes restore the (pq|rs) order). See transformERIMixed for the
+// two-orbital-set variant.
+func transformERI(ao []float64, c *linalg.Matrix, n int) []float64 {
+	return transformERIMixed(ao, c, c, n)
+}

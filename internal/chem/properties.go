@@ -1,0 +1,97 @@
+package chem
+
+import (
+	"math"
+
+	"execmodels/internal/linalg"
+)
+
+// DipoleMatrices returns the electric-dipole integral matrices
+// ⟨μ| x |ν⟩, ⟨μ| y |ν⟩, ⟨μ| z |ν⟩ relative to the coordinate origin.
+//
+// Each 1-D moment integral uses the angular-momentum raising identity
+// x·φ_A(lx) = φ_A(lx+1) + Ax·φ_A(lx), so only overlap tables with one
+// extra unit of bra angular momentum are needed.
+func DipoleMatrices(bs *BasisSet) (mx, my, mz *linalg.Matrix) {
+	mx = linalg.NewMatrix(bs.NBF, bs.NBF)
+	my = linalg.NewMatrix(bs.NBF, bs.NBF)
+	mz = linalg.NewMatrix(bs.NBF, bs.NBF)
+	forShellPairs(bs, func(a, b *Shell) {
+		bx, by, bz := dipoleBlock(a, b)
+		scatterBlock(mx, a, b, bx)
+		scatterBlock(my, a, b, by)
+		scatterBlock(mz, a, b, bz)
+	})
+	return mx, my, mz
+}
+
+func dipoleBlock(a, b *Shell) (bx, by, bz []float64) {
+	na, nb := a.NumFuncs(), b.NumFuncs()
+	bx = make([]float64, na*nb)
+	by = make([]float64, na*nb)
+	bz = make([]float64, na*nb)
+	ca, cb := Components(a.L), Components(b.L)
+	ab := a.Center.Sub(b.Center)
+	for pi, ea := range a.Exps {
+		for pj, eb := range b.Exps {
+			coef := a.Coefs[pi] * b.Coefs[pj]
+			p := ea + eb
+			pref := coef * math.Pow(math.Pi/p, 1.5)
+			ex := newHermiteE(a.L+1, b.L, ea, eb, ab.X)
+			ey := newHermiteE(a.L+1, b.L, ea, eb, ab.Y)
+			ez := newHermiteE(a.L+1, b.L, ea, eb, ab.Z)
+			s := func(e *hermiteE, i, j int) float64 { return e.at(i, j, 0) }
+			// ⟨i| q |j⟩ = S(i+1, j) + A_q·S(i, j) in dimension q.
+			m := func(e *hermiteE, i, j int, origin float64) float64 {
+				return s(e, i+1, j) + origin*s(e, i, j)
+			}
+			for fa, A := range ca {
+				for fb, B := range cb {
+					sx, sy, sz := s(ex, A.Lx, B.Lx), s(ey, A.Ly, B.Ly), s(ez, A.Lz, B.Lz)
+					idx := fa*nb + fb
+					bx[idx] += pref * m(ex, A.Lx, B.Lx, a.Center.X) * sy * sz
+					by[idx] += pref * sx * m(ey, A.Ly, B.Ly, a.Center.Y) * sz
+					bz[idx] += pref * sx * sy * m(ez, A.Lz, B.Lz, a.Center.Z)
+				}
+			}
+		}
+	}
+	applyComponentNorms2(bx, a, b)
+	applyComponentNorms2(by, a, b)
+	applyComponentNorms2(bz, a, b)
+	return bx, by, bz
+}
+
+// DipoleMoment returns the molecular electric dipole moment in atomic
+// units (1 a.u. = 2.5417 Debye): nuclear part minus electronic
+// expectation Σ D_{μν}⟨μ|r|ν⟩.
+func DipoleMoment(mol *Molecule, bs *BasisSet, d *linalg.Matrix) Vec3 {
+	var mu Vec3
+	for _, at := range mol.Atoms {
+		mu = mu.Add(at.Pos.Scale(float64(at.Z)))
+	}
+	mx, my, mz := DipoleMatrices(bs)
+	for i := range d.Data {
+		mu.X -= d.Data[i] * mx.Data[i]
+		mu.Y -= d.Data[i] * my.Data[i]
+		mu.Z -= d.Data[i] * mz.Data[i]
+	}
+	return mu
+}
+
+// MullikenCharges returns per-atom Mulliken population charges
+// q_A = Z_A − Σ_{μ∈A} (D·S)_{μμ}.
+func MullikenCharges(mol *Molecule, bs *BasisSet, d, s *linalg.Matrix) []float64 {
+	ds := linalg.MatMul(d, s)
+	q := make([]float64, len(mol.Atoms))
+	for i, at := range mol.Atoms {
+		q[i] = float64(at.Z)
+	}
+	for _, sh := range bs.Shells {
+		for fc := 0; fc < sh.NumFuncs(); fc++ {
+			i := sh.Start + fc
+			q[sh.Atom] -= ds.At(i, i)
+		}
+	}
+	return q
+}

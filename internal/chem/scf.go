@@ -1,0 +1,207 @@
+package chem
+
+import (
+	"fmt"
+	"math"
+
+	"execmodels/internal/linalg"
+)
+
+// SCFOptions configures the restricted Hartree–Fock driver.
+type SCFOptions struct {
+	MaxIter     int     // maximum SCF iterations (default 50)
+	ConvDensity float64 // RMS density change threshold (default 1e-8)
+	ConvEnergy  float64 // energy change threshold (default 1e-9)
+	Screening   float64 // Schwarz screening threshold (default 1e-10)
+	BlockSize   int     // bra-pair block size for the Fock workload (default 4)
+	Damping     float64 // density damping factor in [0,1); 0 disables (default 0)
+
+	// UseDIIS enables Pulay DIIS convergence acceleration: the Fock
+	// matrix diagonalized each iteration is the error-minimizing linear
+	// combination of the last DIISVectors Fock matrices.
+	UseDIIS     bool
+	DIISVectors int // subspace size (default 6)
+
+	// Guess selects the starting density: "core" (diagonalize the core
+	// Hamiltonian, the default) or "sad" (superposition of atomic
+	// densities — each atom's electrons spread evenly over its own
+	// functions, usually fewer iterations on clusters).
+	Guess string
+}
+
+func (o *SCFOptions) setDefaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 50
+	}
+	if o.ConvDensity == 0 {
+		o.ConvDensity = 1e-8
+	}
+	if o.ConvEnergy == 0 {
+		o.ConvEnergy = 1e-9
+	}
+	if o.Screening == 0 {
+		o.Screening = 1e-10
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 4
+	}
+}
+
+// SCFResult holds the converged (or final) state of an SCF run.
+type SCFResult struct {
+	Energy     float64 // total energy (electronic + nuclear repulsion)
+	Electronic float64
+	Nuclear    float64
+	Iterations int
+	Converged  bool
+	NOcc       int            // doubly-occupied orbital count
+	OrbitalE   []float64      // orbital energies, ascending
+	C          *linalg.Matrix // MO coefficients (columns)
+	D          *linalg.Matrix // final density matrix
+	F          *linalg.Matrix // final Fock matrix
+	Workload   *FockWorkload  // the task decomposition used for Fock builds
+}
+
+// FockBuilder computes a Fock matrix from a density matrix. The default is
+// the serial reference implementation; the scheduling study substitutes
+// parallel executors with identical semantics.
+type FockBuilder func(w *FockWorkload, h, d *linalg.Matrix) *linalg.Matrix
+
+// RunSCF performs a restricted closed-shell Hartree–Fock calculation on
+// mol in basis bs. If build is nil the serial reference Fock builder is
+// used.
+func RunSCF(mol *Molecule, bs *BasisSet, opts SCFOptions, build FockBuilder) (*SCFResult, error) {
+	opts.setDefaults()
+	ne := mol.NumElectrons()
+	if ne%2 != 0 {
+		return nil, fmt.Errorf("chem: RHF requires an even electron count, got %d", ne)
+	}
+	nocc := ne / 2
+	if nocc > bs.NBF {
+		return nil, fmt.Errorf("chem: %d occupied orbitals exceed %d basis functions", nocc, bs.NBF)
+	}
+	if build == nil {
+		build = func(w *FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+			return w.BuildFock(h, d)
+		}
+	}
+
+	s := Overlap(bs)
+	h := CoreHamiltonian(bs, mol)
+	x := linalg.InvSqrtSym(s, 1e-10)
+	w := BuildFockWorkload(bs, opts.Screening, opts.BlockSize)
+	enuc := mol.NuclearRepulsion()
+
+	var d *linalg.Matrix
+	switch opts.Guess {
+	case "", "core":
+		d, _, _ = densityFromFock(h, x, nocc)
+	case "sad":
+		d = sadGuess(bs, mol)
+	default:
+		return nil, fmt.Errorf("chem: unknown guess %q (core|sad)", opts.Guess)
+	}
+
+	res := &SCFResult{Nuclear: enuc, Workload: w, NOcc: nocc}
+	var diis *diisState
+	if opts.UseDIIS {
+		diis = newDIIS(opts.DIISVectors)
+	}
+	var ePrev float64
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		f := build(w, h, d)
+		eElec := electronicEnergy(d, h, f)
+
+		fDiag := f
+		if diis != nil {
+			diis.push(f, diisError(f, d, s, x))
+			if fx := diis.extrapolate(); fx != nil {
+				fDiag = fx
+			}
+		}
+
+		dNew, c, orbE := densityFromFock(fDiag, x, nocc)
+		if opts.Damping > 0 && iter > 1 {
+			dNew.Scale(1-opts.Damping).AddScaled(opts.Damping, d)
+		}
+		rms := rmsDiff(dNew, d)
+		dE := math.Abs(eElec + enuc - ePrev)
+		ePrev = eElec + enuc
+
+		res.Energy = ePrev
+		res.Electronic = eElec
+		res.Iterations = iter
+		res.OrbitalE = orbE
+		res.C = c
+		res.F = f
+		res.D = dNew
+		d = dNew
+
+		if iter > 1 && rms < opts.ConvDensity && dE < opts.ConvEnergy {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// densityFromFock diagonalizes F in the orthogonal basis defined by X and
+// returns the closed-shell density D = 2 C_occ C_occᵀ, the MO coefficient
+// matrix, and the orbital energies.
+func densityFromFock(f, x *linalg.Matrix, nocc int) (*linalg.Matrix, *linalg.Matrix, []float64) {
+	fp := linalg.TripleProduct(x, f)
+	orbE, cp := linalg.EigenSym(fp)
+	c := linalg.MatMul(x, cp)
+	n := c.Rows
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			for k := 0; k < nocc; k++ {
+				v += c.At(i, k) * c.At(j, k)
+			}
+			d.Set(i, j, 2*v)
+		}
+	}
+	return d, c, orbE
+}
+
+// electronicEnergy returns E_elec = ½ Σ_{μν} D_{μν} (H_{μν} + F_{μν}).
+func electronicEnergy(d, h, f *linalg.Matrix) float64 {
+	var e float64
+	for i := range d.Data {
+		e += d.Data[i] * (h.Data[i] + f.Data[i])
+	}
+	return 0.5 * e
+}
+
+// sadGuess builds a superposition-of-atomic-densities starting density:
+// a diagonal matrix with each atom's electron count spread evenly over
+// that atom's basis functions. Since every function has unit self-overlap
+// this satisfies Tr(D·S) ≈ N up to off-diagonal overlap, and it starts
+// the iteration from neutral atoms instead of the bare-nucleus core
+// guess.
+func sadGuess(bs *BasisSet, mol *Molecule) *linalg.Matrix {
+	d := linalg.NewMatrix(bs.NBF, bs.NBF)
+	funcsOfAtom := make([]int, len(mol.Atoms))
+	for _, sh := range bs.Shells {
+		funcsOfAtom[sh.Atom] += sh.NumFuncs()
+	}
+	for _, sh := range bs.Shells {
+		per := float64(mol.Atoms[sh.Atom].Z) / float64(funcsOfAtom[sh.Atom])
+		for f := 0; f < sh.NumFuncs(); f++ {
+			i := sh.Start + f
+			d.Set(i, i, per)
+		}
+	}
+	return d
+}
+
+func rmsDiff(a, b *linalg.Matrix) float64 {
+	var s float64
+	for i := range a.Data {
+		diff := a.Data[i] - b.Data[i]
+		s += diff * diff
+	}
+	return math.Sqrt(s / float64(len(a.Data)))
+}

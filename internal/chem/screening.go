@@ -1,0 +1,60 @@
+package chem
+
+import "math"
+
+// ShellPair identifies an ordered pair of shells (I <= J) together with
+// its Schwarz bound.
+type ShellPair struct {
+	I, J   int
+	Bound  float64 // sqrt(max |(ij|ij)|), the Cauchy–Schwarz factor
+	Extent float64 // spatial extent heuristic (bohr), used for locality
+}
+
+// SchwarzBounds computes, for every shell pair, the Cauchy–Schwarz
+// screening factor Q_ij = sqrt(max over components |(ij|ij)|). A quartet
+// (ij|kl) is bounded by Q_ij * Q_kl and can be skipped when that product
+// falls below the screening threshold.
+func SchwarzBounds(bs *BasisSet) []ShellPair {
+	n := len(bs.Shells)
+	pairs := make([]ShellPair, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			a, b := &bs.Shells[i], &bs.Shells[j]
+			blk := ERIBlock(a, b, a, b)
+			na, nb := a.NumFuncs(), b.NumFuncs()
+			var mx float64
+			// Diagonal elements (fa fb | fa fb) of the block.
+			for fa := 0; fa < na; fa++ {
+				for fb := 0; fb < nb; fb++ {
+					v := math.Abs(blk[((fa*nb+fb)*na+fa)*nb+fb])
+					if v > mx {
+						mx = v
+					}
+				}
+			}
+			ext := 1/math.Sqrt(a.MinExp()) + 1/math.Sqrt(b.MinExp()) +
+				a.Center.Sub(b.Center).Norm()
+			pairs = append(pairs, ShellPair{I: i, J: j, Bound: math.Sqrt(mx), Extent: ext})
+		}
+	}
+	return pairs
+}
+
+// SignificantPairs filters pairs, keeping those whose bound multiplied by
+// the largest bound could still exceed threshold — i.e. pairs that can
+// contribute to at least one surviving quartet.
+func SignificantPairs(pairs []ShellPair, threshold float64) []ShellPair {
+	var qmax float64
+	for _, p := range pairs {
+		if p.Bound > qmax {
+			qmax = p.Bound
+		}
+	}
+	out := make([]ShellPair, 0, len(pairs))
+	for _, p := range pairs {
+		if p.Bound*qmax >= threshold {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package chem
+
+import (
+	"fmt"
+
+	"execmodels/internal/linalg"
+)
+
+// UMP2Energy computes the unrestricted second-order Møller–Plesset
+// correlation energy on a converged UHF reference:
+//
+//	E(2) = E_αα + E_ββ + E_αβ
+//	E_σσ = ¼ Σ_{ijab∈σ} [(ia|jb) − (ib|ja)]² / (εi + εj − εa − εb)
+//	E_αβ = Σ_{i,a∈α; j,b∈β} (ia|jb)² / (εi + εj − εa − εb)
+//
+// with MO integrals over the respective spin orbital sets. For a
+// closed-shell reference this reduces exactly to the restricted MP2
+// energy.
+func UMP2Energy(bs *BasisSet, uhf *UHFResult) (float64, error) {
+	if !uhf.Converged {
+		return 0, fmt.Errorf("chem: UMP2 on an unconverged UHF reference")
+	}
+	n := bs.NBF
+	if uhf.NAlpha > n || uhf.NBeta > n {
+		return 0, fmt.Errorf("chem: occupation exceeds basis size")
+	}
+	ao := FullERITensor(bs)
+
+	eAA := sameSpinMP2(ao, uhf.CA, uhf.OrbitalEA, uhf.NAlpha, n)
+	eBB := sameSpinMP2(ao, uhf.CB, uhf.OrbitalEB, uhf.NBeta, n)
+	eAB := oppositeSpinMP2(ao, uhf, n)
+	return eAA + eBB + eAB, nil
+}
+
+// sameSpinMP2 evaluates the σσ contribution from one spin's orbitals.
+func sameSpinMP2(ao []float64, c *linalg.Matrix, eps []float64, nocc, n int) float64 {
+	if nocc < 2 || nocc >= n {
+		return 0 // fewer than two same-spin electrons cannot pair-correlate
+	}
+	mo := transformERIMixed(ao, c, c, n)
+	var e float64
+	for i := 0; i < nocc; i++ {
+		for j := 0; j < nocc; j++ {
+			for a := nocc; a < n; a++ {
+				for b := nocc; b < n; b++ {
+					iajb := mo[((i*n+a)*n+j)*n+b]
+					ibja := mo[((i*n+b)*n+j)*n+a]
+					anti := iajb - ibja
+					denom := eps[i] + eps[j] - eps[a] - eps[b]
+					e += 0.25 * anti * anti / denom
+				}
+			}
+		}
+	}
+	return e
+}
+
+// oppositeSpinMP2 evaluates the αβ contribution; the bra pair is
+// transformed with the α orbitals, the ket pair with the β orbitals.
+func oppositeSpinMP2(ao []float64, uhf *UHFResult, n int) float64 {
+	if uhf.NAlpha < 1 || uhf.NBeta < 1 || uhf.NAlpha >= n || uhf.NBeta >= n {
+		return 0
+	}
+	mo := transformERIMixed(ao, uhf.CA, uhf.CB, n)
+	var e float64
+	for i := 0; i < uhf.NAlpha; i++ {
+		for a := uhf.NAlpha; a < n; a++ {
+			for j := 0; j < uhf.NBeta; j++ {
+				for b := uhf.NBeta; b < n; b++ {
+					iajb := mo[((i*n+a)*n+j)*n+b]
+					denom := uhf.OrbitalEA[i] + uhf.OrbitalEB[j] -
+						uhf.OrbitalEA[a] - uhf.OrbitalEB[b]
+					e += iajb * iajb / denom
+				}
+			}
+		}
+	}
+	return e
+}
+
+// transformERIMixed performs the AO→MO transform with the bra pair
+// rotated by cBra and the ket pair by cKet:
+// (pq|rs) = Σ CBra_μp CBra_νq CKet_λr CKet_σs (μν|λσ).
+func transformERIMixed(ao []float64, cBra, cKet *linalg.Matrix, n int) []float64 {
+	cs := [4]*linalg.Matrix{cBra, cBra, cKet, cKet}
+	cur := ao
+	n3 := n * n * n
+	for pass := 0; pass < 4; pass++ {
+		c := cs[pass]
+		next := make([]float64, n*n*n*n)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					base := (x*n+y)*n + z
+					for p := 0; p < n; p++ {
+						var s float64
+						for w := 0; w < n; w++ {
+							s += c.At(w, p) * cur[w*n3+base]
+						}
+						next[base*n+p] = s
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,102 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+// On a closed-shell reference UMP2 must equal restricted MP2 exactly.
+func TestUMP2MatchesRMP2ClosedShell(t *testing.T) {
+	mol := Water()
+	bs := mustBasis(t, "sto-3g", mol)
+	rhf, err := RunSCF(mol, bs, SCFOptions{UseDIIS: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmp2, err := MP2Energy(bs, rhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uhf, err := RunUHF(mol, bs, UHFOptions{UseDIIS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ump2, err := UMP2Energy(bs, uhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ump2-rmp2) > 1e-6 {
+		t.Errorf("UMP2 %v != RMP2 %v on a closed shell", ump2, rmp2)
+	}
+}
+
+// A single electron has no pairs to correlate: E(2) = 0 identically.
+func TestUMP2HydrogenAtomZero(t *testing.T) {
+	mol := &Molecule{Name: "H", Atoms: []Atom{{Z: 1}}}
+	bs := mustBasis(t, "sto-3g", mol)
+	uhf, err := RunUHF(mol, bs, UHFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := UMP2Energy(bs, uhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != 0 {
+		t.Errorf("E(2) for one electron = %v, want exactly 0", e2)
+	}
+}
+
+// Triplet O2: the UMP2 correction must be negative and of chemically
+// plausible magnitude for STO-3G (tenths of a hartree at most).
+func TestUMP2TripletO2(t *testing.T) {
+	const r = 1.2074 * angstrom
+	mol := &Molecule{
+		Name:  "O2",
+		Atoms: []Atom{{Z: 8}, {Z: 8, Pos: Vec3{0, 0, r}}},
+	}
+	bs := mustBasis(t, "sto-3g", mol)
+	uhf, err := RunUHF(mol, bs, UHFOptions{Multiplicity: 3, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uhf.Converged {
+		t.Skip("UHF did not converge")
+	}
+	e2, err := UMP2Energy(bs, uhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= 0 || e2 < -0.5 {
+		t.Errorf("E(UMP2) = %v, want negative and modest", e2)
+	}
+}
+
+// Doublet OH radical: all three spin channels contribute.
+func TestUMP2OHRadical(t *testing.T) {
+	mol := &Molecule{Name: "OH", Atoms: []Atom{
+		{Z: 8}, {Z: 1, Pos: Vec3{Z: 0.97 * angstrom}},
+	}}
+	bs := mustBasis(t, "sto-3g", mol)
+	uhf, err := RunUHF(mol, bs, UHFOptions{MaxIter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uhf.Converged {
+		t.Skip("UHF did not converge")
+	}
+	e2, err := UMP2Energy(bs, uhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= 0 || e2 < -0.2 {
+		t.Errorf("E(UMP2) = %v implausible for OH/STO-3G", e2)
+	}
+}
+
+func TestUMP2RequiresConvergence(t *testing.T) {
+	bs := mustBasis(t, "sto-3g", Water())
+	if _, err := UMP2Energy(bs, &UHFResult{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome trace-event
+// format (the JSON understood by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in the Chrome trace-event JSON array
+// format, one complete event per interval: rank = tid, simulated seconds
+// scaled to microseconds. Load the output in chrome://tracing or Perfetto
+// to inspect an execution visually.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Intervals))
+	for _, iv := range t.Intervals {
+		name := iv.Activity
+		args := map[string]string{}
+		if iv.TaskID >= 0 {
+			args["task"] = strconv.Itoa(iv.TaskID)
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  iv.Activity,
+			Ph:   "X",
+			Ts:   iv.Start * 1e6,
+			Dur:  (iv.End - iv.Start) * 1e6,
+			Pid:  0,
+			Tid:  iv.Rank,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != len(tr.Intervals) {
+		t.Fatalf("%d events for %d intervals", len(events), len(tr.Intervals))
+	}
+	e := events[0]
+	if e["ph"] != "X" || e["name"] != "task" {
+		t.Fatalf("event %v", e)
+	}
+	// First interval: rank 0, 0..4 s → ts 0, dur 4e6 µs.
+	if e["dur"].(float64) != 4e6 || e["tid"].(float64) != 0 {
+		t.Fatalf("timing wrong: %v", e)
+	}
+	// Task IDs propagate into args.
+	if args, ok := e["args"].(map[string]any); !ok || args["task"] != "1" {
+		t.Fatalf("args %v", e["args"])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var tr Trace
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace render: %q err %v", buf.String(), err)
+	}
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import "fmt"
+
+// Preset returns a ready-made Config for a named machine class, with the
+// given rank count and seed. Presets pin the network and overhead
+// parameters; callers may still adjust heterogeneity/noise afterwards.
+//
+//	rdma      - Infiniband-class: 1 µs latency, 5 GB/s (the default elsewhere)
+//	ethernet  - commodity 10GbE: 30 µs latency, 1 GB/s
+//	numa      - single big shared-memory node: 0.1 µs, 20 GB/s
+//	multicore - nodes of 8 cores with an rdma network between them
+func Preset(name string, ranks int, seed int64) (Config, error) {
+	base := Config{Ranks: ranks, Seed: seed}
+	switch name {
+	case "rdma":
+		base.Latency = 1e-6
+		base.Bandwidth = 5e9
+		base.CounterService = 2e-7
+	case "ethernet":
+		base.Latency = 30e-6
+		base.Bandwidth = 1e9
+		base.CounterService = 2e-6
+		base.TaskOverhead = 2e-6
+	case "numa":
+		base.Latency = 1e-7
+		base.Bandwidth = 2e10
+		base.CounterService = 5e-8
+	case "multicore":
+		base.Latency = 1e-6
+		base.Bandwidth = 5e9
+		base.CounterService = 2e-7
+		base.CoresPerNode = 8
+	default:
+		return Config{}, fmt.Errorf("cluster: unknown preset %q (rdma|ethernet|numa|multicore)", name)
+	}
+	return base, nil
+}
+
+// PresetNames lists the available machine presets.
+func PresetNames() []string { return []string{"rdma", "ethernet", "numa", "multicore"} }

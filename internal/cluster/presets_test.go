@@ -1,0 +1,42 @@
+package cluster
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Ranks != 8 || cfg.Seed != 1 {
+			t.Fatalf("%s: ranks/seed not applied: %+v", name, cfg)
+		}
+		m := New(cfg)
+		if m.P != 8 {
+			t.Fatalf("%s: machine not buildable", name)
+		}
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	rdma, _ := Preset("rdma", 4, 1)
+	eth, _ := Preset("ethernet", 4, 1)
+	numa, _ := Preset("numa", 4, 1)
+	if !(numa.Latency < rdma.Latency && rdma.Latency < eth.Latency) {
+		t.Fatalf("latency ordering wrong: %v %v %v", numa.Latency, rdma.Latency, eth.Latency)
+	}
+	mc, _ := Preset("multicore", 16, 1)
+	if mc.CoresPerNode != 8 {
+		t.Fatalf("multicore CoresPerNode = %d", mc.CoresPerNode)
+	}
+	m := New(mc)
+	if m.NodeOf(7) != 0 || m.NodeOf(8) != 1 {
+		t.Fatal("multicore topology wrong")
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("quantum", 2, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

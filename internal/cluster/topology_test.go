@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodeOfFlat(t *testing.T) {
+	m := New(Config{Ranks: 4})
+	for r := 0; r < 4; r++ {
+		if m.NodeOf(r) != r {
+			t.Fatalf("flat machine: NodeOf(%d) = %d", r, m.NodeOf(r))
+		}
+	}
+}
+
+func TestNodeOfGrouped(t *testing.T) {
+	m := New(Config{Ranks: 8, CoresPerNode: 4})
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for r, w := range want {
+		if m.NodeOf(r) != w {
+			t.Fatalf("NodeOf(%d) = %d, want %d", r, m.NodeOf(r), w)
+		}
+	}
+	if !m.SameNode(0, 3) || m.SameNode(3, 4) {
+		t.Fatal("SameNode wrong")
+	}
+}
+
+func TestXferTimeBetween(t *testing.T) {
+	m := New(Config{Ranks: 8, CoresPerNode: 4, Latency: 1e-6, Bandwidth: 1e9})
+	if got := m.XferTimeBetween(0, 0, 1000); got != 0 {
+		t.Fatalf("self transfer = %v", got)
+	}
+	intra := m.XferTimeBetween(0, 1, 1000)
+	inter := m.XferTimeBetween(0, 5, 1000)
+	if intra >= inter {
+		t.Fatalf("intra %v not cheaper than inter %v", intra, inter)
+	}
+	// Defaults: latency/10 + bytes/(4*bw).
+	want := 1e-7 + 1000/4e9
+	if math.Abs(intra-want) > 1e-18 {
+		t.Fatalf("intra = %v, want %v", intra, want)
+	}
+	if inter != m.XferTime(1000) {
+		t.Fatalf("inter %v != network %v", inter, m.XferTime(1000))
+	}
+}
+
+func TestRoundTripBetween(t *testing.T) {
+	m := New(Config{Ranks: 4, CoresPerNode: 2, Latency: 1e-6})
+	if got := m.RoundTripBetween(0, 1); got != 2e-7 {
+		t.Fatalf("intra round trip %v", got)
+	}
+	if got := m.RoundTripBetween(0, 2); got != 2e-6 {
+		t.Fatalf("inter round trip %v", got)
+	}
+}
+
+func TestCustomIntraParams(t *testing.T) {
+	m := New(Config{Ranks: 4, CoresPerNode: 2, IntraLatency: 5e-8, IntraBandwidth: 1e10})
+	got := m.XferTimeBetween(0, 1, 10000)
+	want := 5e-8 + 10000/1e10
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("custom intra = %v, want %v", got, want)
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	m1 := New(Config{Ranks: 1})
+	if m1.AllReduceTime(1000) != 0 {
+		t.Fatal("allreduce on 1 rank should be free")
+	}
+	m8 := New(Config{Ranks: 8, Latency: 1e-6, Bandwidth: 1e9})
+	// log2(8)=3 steps, 2 phases: 6 * (1µs + 1µs).
+	want := 6 * (1e-6 + 1000/1e9)
+	if got := m8.AllReduceTime(1000); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("allreduce = %v, want %v", got, want)
+	}
+	// Non-power-of-two rounds up.
+	m5 := New(Config{Ranks: 5, Latency: 1e-6, Bandwidth: 1e9})
+	if m5.AllReduceTime(0) != m8.AllReduceTime(0) {
+		t.Fatal("P=5 should use ceil(log2)=3 steps like P=8")
+	}
+}

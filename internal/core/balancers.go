@@ -1,0 +1,130 @@
+package core
+
+import (
+	"time"
+
+	"execmodels/internal/cluster"
+	"execmodels/internal/hypergraph"
+	"execmodels/internal/semimatching"
+)
+
+// SemiMatchingLB is the paper's novel load balancer: tasks and ranks form
+// a bipartite graph whose edges connect each task to the owners of the
+// data blocks it touches (plus a few random ranks for connectivity), and
+// a weighted semi-matching assigns tasks to ranks, simultaneously
+// balancing load and preserving locality — at a tiny fraction of the cost
+// of hypergraph partitioning.
+type SemiMatchingLB struct {
+	// ExtraEdges is the number of additional random candidate ranks per
+	// task (default 2). Zero keeps strictly data-owner edges, which can
+	// leave the bipartite graph too constrained to balance.
+	ExtraEdges int
+	Seed       int64
+}
+
+// Name implements Model.
+func (SemiMatchingLB) Name() string { return "semi-matching" }
+
+// Run implements Model.
+func (s SemiMatchingLB) Run(w *Workload, m *cluster.Machine) *Result {
+	start := time.Now()
+	b := s.buildGraph(w, m.P)
+	est := make([]float64, len(w.Tasks))
+	for i, t := range w.Tasks {
+		est[i] = t.EstCost
+	}
+	assign := semimatching.WeightedSemiMatch(b, est)
+	cost := time.Since(start).Seconds()
+	return runAssignment(s.Name(), w, m, assign.Of, cost)
+}
+
+// BuildGraphForBench exposes the bipartite-graph construction so the T4
+// experiment can time the semi-matching pipeline end to end outside Run.
+func (s SemiMatchingLB) BuildGraphForBench(w *Workload, ranks int) *semimatching.Bipartite {
+	return s.buildGraph(w, ranks)
+}
+
+// buildGraph constructs the task–rank bipartite graph from block
+// ownership.
+func (s SemiMatchingLB) buildGraph(w *Workload, ranks int) *semimatching.Bipartite {
+	extra := s.ExtraEdges
+	if extra == 0 {
+		extra = 2
+	}
+	b := semimatching.NewBipartite(len(w.Tasks), ranks)
+	// Deterministic pseudo-random extra edges from a cheap hash so graph
+	// construction costs stay honest (no RNG state in the hot path).
+	h := uint64(s.Seed)*2654435761 + 12345
+	for i, t := range w.Tasks {
+		for _, blk := range t.Blocks {
+			b.AddEdge(i, blockOwner(blk, ranks))
+		}
+		for e := 0; e < extra; e++ {
+			h = h*6364136223846793005 + 1442695040888963407
+			b.AddEdge(i, int(h>>33)%ranks)
+		}
+	}
+	return b
+}
+
+// weightedSemiMatchAssign runs the weighted semi-matching on an existing
+// graph with the given weights and returns the task→rank assignment.
+func weightedSemiMatchAssign(b *semimatching.Bipartite, weights []float64) []int {
+	return semimatching.WeightedSemiMatch(b, weights).Of
+}
+
+// HypergraphLB is the traditional high-quality baseline: tasks are
+// hypergraph vertices weighted by estimated cost, data blocks are nets,
+// and a multilevel partitioner splits the tasks into P parts minimizing
+// communication volume under a balance constraint. Produces excellent
+// schedules — and costs orders of magnitude more to compute than the
+// semi-matching, which is the trade-off experiment T4 quantifies.
+type HypergraphLB struct {
+	Eps  float64 // balance slack (default 0.05)
+	Seed int64
+	Flat bool // ablation: disable the multilevel hierarchy
+}
+
+// Name implements Model.
+func (h HypergraphLB) Name() string {
+	if h.Flat {
+		return "hypergraph-flat"
+	}
+	return "hypergraph"
+}
+
+// Run implements Model.
+func (hl HypergraphLB) Run(w *Workload, m *cluster.Machine) *Result {
+	start := time.Now()
+	h := BuildHypergraph(w)
+	res := hypergraph.Partition(h, m.P, hypergraph.Options{
+		Eps:  hl.Eps,
+		Seed: hl.Seed,
+		Flat: hl.Flat,
+	})
+	cost := time.Since(start).Seconds()
+	return runAssignment(hl.Name(), w, m, res.Part, cost)
+}
+
+// BuildHypergraph converts a workload into the partitioning hypergraph:
+// one vertex per task (weight = estimated cost), one net per data block
+// (pins = tasks touching it, weight = block bytes, so the connectivity-1
+// cut is exactly the replication communication volume).
+func BuildHypergraph(w *Workload) *hypergraph.Hypergraph {
+	h := hypergraph.New(len(w.Tasks))
+	for i, t := range w.Tasks {
+		h.VWeights[i] = t.EstCost
+	}
+	pins := make([][]int, w.NumBlocks)
+	for i, t := range w.Tasks {
+		for _, b := range t.Blocks {
+			pins[b] = append(pins[b], i)
+		}
+	}
+	for b, p := range pins {
+		if len(p) >= 2 {
+			h.AddNet(float64(w.BlockBytes[b]), p...)
+		}
+	}
+	return h
+}

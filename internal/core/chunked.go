@@ -1,0 +1,193 @@
+package core
+
+import (
+	"container/heap"
+
+	"execmodels/internal/cluster"
+)
+
+// ChunkPolicy computes how many task indices a rank claims per counter
+// operation, given the number of unclaimed tasks and the rank count.
+// It generalizes DynamicCounter's fixed chunk to the classical
+// self-scheduling family.
+type ChunkPolicy interface {
+	Name() string
+	NextChunk(remaining, ranks int) int
+}
+
+// FixedChunk claims a constant number of tasks per operation.
+type FixedChunk int
+
+// Name implements ChunkPolicy.
+func (c FixedChunk) Name() string { return "fixed" }
+
+// NextChunk implements ChunkPolicy.
+func (c FixedChunk) NextChunk(remaining, ranks int) int {
+	if c < 1 {
+		return 1
+	}
+	return int(c)
+}
+
+// GuidedChunk implements guided self-scheduling: each claim takes
+// ⌈remaining/P⌉ tasks, so chunks shrink geometrically and the tail is
+// fine-grained exactly where imbalance risk concentrates.
+type GuidedChunk struct{}
+
+// Name implements ChunkPolicy.
+func (GuidedChunk) Name() string { return "guided" }
+
+// NextChunk implements ChunkPolicy.
+func (GuidedChunk) NextChunk(remaining, ranks int) int {
+	c := (remaining + ranks - 1) / ranks
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// FactoringChunk implements factoring (Hummel/Schonberg/Flynn): work is
+// claimed in batches of P equal chunks, each batch covering half of what
+// remains, giving more scheduling slack than guided self-scheduling under
+// high cost variance.
+type FactoringChunk struct{}
+
+// Name implements ChunkPolicy.
+func (FactoringChunk) Name() string { return "factoring" }
+
+// NextChunk implements ChunkPolicy.
+func (FactoringChunk) NextChunk(remaining, ranks int) int {
+	c := (remaining + 2*ranks - 1) / (2 * ranks)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// SelfScheduling is the generalized centralized dynamic model: ranks
+// claim chunks from the shared counter under a pluggable chunk policy.
+// DynamicCounter is the FixedChunk special case; GuidedChunk and
+// FactoringChunk are the textbook refinements the paper's "wide variety
+// of execution models" spans.
+type SelfScheduling struct {
+	Policy ChunkPolicy
+}
+
+// Name implements Model.
+func (s SelfScheduling) Name() string {
+	if s.Policy == nil {
+		return "self-sched-guided"
+	}
+	return "self-sched-" + s.Policy.Name()
+}
+
+// Run implements Model.
+func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
+	policy := s.Policy
+	if policy == nil {
+		policy = GuidedChunk{}
+	}
+	res := newResult(s.Name(), m.P)
+	counter := cluster.NewCounterAgent(m)
+	n := int64(len(w.Tasks))
+
+	seen := make([]map[int]bool, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+
+	h := make(rankHeap, 0, m.P)
+	for r := 0; r < m.P; r++ {
+		heap.Push(&h, rankEvent{rank: r, time: 0})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(rankEvent)
+		r := ev.rank
+		// The claim size must be computed from the pre-claim remaining
+		// count; the counter itself is the source of truth.
+		remaining := int(n - counter.Value())
+		if remaining < 0 {
+			remaining = 0
+		}
+		chunk := policy.NextChunk(remaining, m.P)
+		old, done := counter.FetchAdd(ev.time, int64(chunk))
+		if old >= n {
+			res.FinishTime[r] = done
+			continue
+		}
+		t := done
+		for i := old; i < old+int64(chunk) && i < n; i++ {
+			task := &w.Tasks[i]
+			dt := m.TaskTimeAt(r, task.Cost, t)
+			res.BusyTime[r] += dt
+			t += dt
+			res.TasksRun[r]++
+			for _, b := range task.Blocks {
+				owner := blockOwner(b, m.P)
+				if owner == r || seen[r][b] {
+					continue
+				}
+				seen[r][b] = true
+				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
+				res.CommTime[r] += ct
+				t += ct
+			}
+		}
+		heap.Push(&h, rankEvent{rank: r, time: t})
+	}
+	res.CounterOps = counter.Ops()
+	res.CounterWait = counter.TotalWait()
+	res.finalize()
+	return res
+}
+
+// PersistenceSM is the persistence model with semi-matching (rather than
+// LPT) rebalancing: measured task costs weight the locality-restricted
+// bipartite graph, so iterations 2+ balance load *and* respect data
+// ownership.
+type PersistenceSM struct {
+	Iterations int
+	Seed       int64
+}
+
+// Name implements Model.
+func (PersistenceSM) Name() string { return "persistence-sm" }
+
+// Run implements Model.
+func (p PersistenceSM) Run(w *Workload, m *cluster.Machine) *Result {
+	res, _ := p.RunWithHistory(w, m)
+	return res
+}
+
+// RunWithHistory runs the iterative protocol and returns the final
+// iteration's result plus per-iteration makespans.
+func (p PersistenceSM) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, []float64) {
+	iters := p.Iterations
+	if iters < 1 {
+		iters = 3
+	}
+	n := len(w.Tasks)
+	assign := make([]int, n)
+	per := (n + m.P - 1) / m.P
+	for i := range assign {
+		r := i / per
+		if r >= m.P {
+			r = m.P - 1
+		}
+		assign[i] = r
+	}
+
+	graph := SemiMatchingLB{Seed: p.Seed}.buildGraph(w, m.P)
+	measured := make([]float64, n)
+	var history []float64
+	var res *Result
+	for it := 0; it < iters; it++ {
+		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
+		history = append(history, res.Makespan)
+		if it == iters-1 {
+			break
+		}
+		assign = weightedSemiMatchAssign(graph, measured)
+	}
+	return res, history
+}

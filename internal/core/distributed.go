@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/linalg"
+	"execmodels/internal/mp"
+)
+
+// DistributedFockResult is the outcome of a message-passing Fock build.
+type DistributedFockResult struct {
+	F           *linalg.Matrix
+	TasksByRank []int
+	CounterOps  int
+}
+
+// DistributedFock executes a Fock build on a message-passing world of
+// `ranks` worker ranks: the density is broadcast from rank 0, tasks are
+// distributed under the chosen execution model, partial J/K matrices are
+// combined with an allreduce, and every rank ends up with the same
+// replicated Fock matrix (rank 0's copy is returned). This is the
+// distributed-memory flavour of the execution stack — no shared data
+// structures, everything moves through messages.
+//
+// Modes:
+//   - "static":  contiguous block ranges, no runtime traffic.
+//   - "counter": a dedicated counter-server rank (the Global Arrays
+//     NXTVAL pattern, with the server standing in for the network agent)
+//     hands out task indices on demand.
+func DistributedFock(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int, mode string) (*DistributedFockResult, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("core: DistributedFock needs >= 1 rank, got %d", ranks)
+	}
+	switch mode {
+	case "static":
+		return distributedStatic(fw, h, d, ranks), nil
+	case "counter":
+		return distributedCounter(fw, h, d, ranks), nil
+	default:
+		return nil, fmt.Errorf("core: unknown distributed mode %q (static|counter)", mode)
+	}
+}
+
+// assembleFock turns allreduced J/K into F = H + J - K/2 on rank 0.
+func assembleFock(c *mp.Comm, h *linalg.Matrix, jLoc, kLoc *linalg.Matrix) *linalg.Matrix {
+	jSum := c.AllReduceSum(jLoc.Data)
+	kSum := c.AllReduceSum(kLoc.Data)
+	if c.Rank() != 0 {
+		return nil
+	}
+	n := h.Rows
+	f := h.Clone()
+	f.AddScaled(1, linalg.NewMatrixFrom(n, n, jSum))
+	f.AddScaled(-0.5, linalg.NewMatrixFrom(n, n, kSum))
+	f.Symmetrize()
+	return f
+}
+
+func distributedStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int) *DistributedFockResult {
+	n := fw.Basis.NBF
+	nt := len(fw.Tasks)
+	per := (nt + ranks - 1) / ranks
+	res := &DistributedFockResult{TasksByRank: make([]int, ranks)}
+	world := mp.NewWorld(ranks)
+	world.Run(func(c *mp.Comm) {
+		// Rank 0 owns the density; everyone else receives it.
+		dens := c.Broadcast(0, d.Data)
+		dLoc := linalg.NewMatrixFrom(n, n, dens)
+
+		jLoc := linalg.NewMatrix(n, n)
+		kLoc := linalg.NewMatrix(n, n)
+		lo, hi := c.Rank()*per, (c.Rank()+1)*per
+		if hi > nt {
+			hi = nt
+		}
+		count := 0
+		for i := lo; i < hi; i++ {
+			fw.ExecuteTask(&fw.Tasks[i], dLoc, jLoc, kLoc)
+			count++
+		}
+		res.TasksByRank[c.Rank()] = count
+
+		if f := assembleFock(c, h, jLoc, kLoc); f != nil {
+			res.F = f
+		}
+	})
+	return res
+}
+
+// Counter-server message tags.
+const (
+	tagCounterReq = 1
+	tagCounterRsp = 2
+)
+
+func distributedCounter(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int) *DistributedFockResult {
+	n := fw.Basis.NBF
+	nt := len(fw.Tasks)
+	res := &DistributedFockResult{TasksByRank: make([]int, ranks)}
+	// World has ranks workers plus one dedicated counter-server rank
+	// (index ranks) — the stand-in for the GA network agent.
+	world := mp.NewWorld(ranks + 1)
+	server := ranks
+	world.Run(func(c *mp.Comm) {
+		if c.Rank() == server {
+			// Participate in the density broadcast (and discard it): a
+			// stale broadcast message would otherwise be mismatched into
+			// the allreduce's internal broadcast later.
+			c.Broadcast(0, nil)
+			next, stopped, ops := 0, 0, 0
+			for stopped < ranks {
+				_, from := c.Recv(mp.AnySource, tagCounterReq)
+				ops++
+				c.Send(from, tagCounterRsp, []float64{float64(next)})
+				if next >= nt {
+					stopped++
+				}
+				next++
+			}
+			res.CounterOps = ops
+			// The server holds no data; it contributes zeros to the
+			// reduction so the collective spans the whole world.
+			assembleFock(c, h, linalg.NewMatrix(n, n), linalg.NewMatrix(n, n))
+			return
+		}
+
+		dens := c.Broadcast(0, d.Data)
+		dLoc := linalg.NewMatrixFrom(n, n, dens)
+		jLoc := linalg.NewMatrix(n, n)
+		kLoc := linalg.NewMatrix(n, n)
+		count := 0
+		for {
+			c.Send(server, tagCounterReq, nil)
+			rsp, _ := c.Recv(server, tagCounterRsp)
+			i := int(rsp[0])
+			if i >= nt {
+				break
+			}
+			fw.ExecuteTask(&fw.Tasks[i], dLoc, jLoc, kLoc)
+			count++
+		}
+		res.TasksByRank[c.Rank()] = count
+
+		if f := assembleFock(c, h, jLoc, kLoc); f != nil {
+			res.F = f
+		}
+	})
+	return res
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/linalg"
+)
+
+func TestDistributedFockMatchesSerial(t *testing.T) {
+	fw := fockWorkload(t, 2)
+	bs := fw.Basis
+	mol := chem.WaterCluster(2, 11)
+	h := chem.CoreHamiltonian(bs, mol)
+	d := linalg.Identity(bs.NBF)
+	want := fw.BuildFock(h, d)
+
+	for _, mode := range []string{"static", "counter"} {
+		for _, ranks := range []int{1, 3, 5} {
+			res, err := DistributedFock(fw, h, d, ranks, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.F == nil {
+				t.Fatalf("%s/%d: no Fock matrix returned", mode, ranks)
+			}
+			if diff := res.F.MaxAbsDiff(want); diff > 1e-9 {
+				t.Errorf("%s/%d: differs from serial by %v", mode, ranks, diff)
+			}
+			var total int
+			for _, c := range res.TasksByRank {
+				total += c
+			}
+			if total != len(fw.Tasks) {
+				t.Errorf("%s/%d: %d tasks executed, want %d", mode, ranks, total, len(fw.Tasks))
+			}
+		}
+	}
+}
+
+func TestDistributedFockCounterOps(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	res, err := DistributedFock(fw, h, d, 3, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One request per task plus one stop request per worker.
+	want := len(fw.Tasks) + 3
+	if res.CounterOps != want {
+		t.Errorf("counter ops %d, want %d", res.CounterOps, want)
+	}
+}
+
+func TestDistributedFockErrors(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	if _, err := DistributedFock(fw, h, d, 0, "static"); err == nil {
+		t.Error("expected rank-count error")
+	}
+	if _, err := DistributedFock(fw, h, d, 2, "bogus"); err == nil {
+		t.Error("expected mode error")
+	}
+}
+
+// The counter mode must let more than one worker participate. (Exactly
+// how many tasks each worker claims is up to the goroutine scheduler —
+// on a single-core host one eager worker can legitimately grab most of a
+// small task set — so per-worker minimums would be flaky by design.)
+func TestDistributedCounterParticipation(t *testing.T) {
+	fw := fockWorkload(t, 2)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	res, err := DistributedFock(fw, h, d, 4, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, participants int
+	for _, c := range res.TasksByRank {
+		total += c
+		if c > 0 {
+			participants++
+		}
+	}
+	if total != len(fw.Tasks) {
+		t.Fatalf("executed %d of %d tasks (%v)", total, len(fw.Tasks), res.TasksByRank)
+	}
+	if participants < 2 {
+		t.Errorf("only %d workers participated (%v)", participants, res.TasksByRank)
+	}
+}

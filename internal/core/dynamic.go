@@ -1,0 +1,102 @@
+package core
+
+import (
+	"container/heap"
+
+	"execmodels/internal/cluster"
+)
+
+// rankHeap orders ranks by their next event time.
+type rankEvent struct {
+	rank int
+	time float64
+}
+
+type rankHeap []rankEvent
+
+func (h rankHeap) Len() int      { return len(h) }
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].rank < h[j].rank // deterministic tie-break
+}
+func (h *rankHeap) Push(x any) { *h = append(*h, x.(rankEvent)) }
+func (h *rankHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DynamicCounter is the centralized dynamic execution model: ranks pull
+// chunks of task indices from a shared fetch-and-add counter (the Global
+// Arrays NXTVAL idiom). Perfect load balance in principle; in practice the
+// counter round-trips and its serialization at the home rank put a floor
+// under task granularity and a ceiling on scaling.
+type DynamicCounter struct {
+	// Chunk is the number of task indices claimed per counter operation
+	// (default 1). Larger chunks amortize counter traffic at the price of
+	// tail imbalance.
+	Chunk int
+}
+
+// Name implements Model.
+func (d DynamicCounter) Name() string { return "dynamic-counter" }
+
+// Run implements Model.
+func (d DynamicCounter) Run(w *Workload, m *cluster.Machine) *Result {
+	chunk := d.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	res := newResult(d.Name(), m.P)
+	counter := cluster.NewCounterAgent(m)
+	n := int64(len(w.Tasks))
+
+	seen := make([]map[int]bool, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+
+	h := make(rankHeap, 0, m.P)
+	for r := 0; r < m.P; r++ {
+		heap.Push(&h, rankEvent{rank: r, time: 0})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(rankEvent)
+		r := ev.rank
+		old, done := counter.FetchAdd(ev.time, int64(chunk))
+		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: done, TaskID: -1, Activity: "counter"})
+		if old >= n {
+			res.FinishTime[r] = done
+			continue
+		}
+		t := done
+		for i := old; i < old+int64(chunk) && i < n; i++ {
+			task := &w.Tasks[i]
+			dt := m.TaskTimeAt(r, task.Cost, t)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + dt, TaskID: task.ID, Activity: "task"})
+			res.BusyTime[r] += dt
+			t += dt
+			res.TasksRun[r]++
+			for _, b := range task.Blocks {
+				owner := blockOwner(b, m.P)
+				if owner == r || seen[r][b] {
+					continue
+				}
+				seen[r][b] = true
+				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
+				res.CommTime[r] += ct
+				t += ct
+			}
+		}
+		heap.Push(&h, rankEvent{rank: r, time: t})
+	}
+	res.CounterOps = counter.Ops()
+	res.CounterWait = counter.TotalWait()
+	res.finalize()
+	return res
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"execmodels/internal/cluster"
+	"execmodels/internal/semimatching"
+)
+
+// Persistence is the persistence-based load-balancing model for iterative
+// applications (like SCF, which rebuilds the Fock matrix every iteration
+// over the same task set): the first iteration runs under a static block
+// schedule while measuring actual per-task times; subsequent iterations
+// redistribute tasks by LPT over the measured costs. The principle of
+// persistence — task costs change slowly across iterations — makes the
+// measured profile a better cost model than any a-priori estimate.
+type Persistence struct {
+	// Iterations is the number of application iterations simulated
+	// (default 3). The returned Result describes the final iteration;
+	// History carries the full trajectory.
+	Iterations int
+}
+
+// Name implements Model.
+func (Persistence) Name() string { return "persistence" }
+
+// Run implements Model. The final iteration's result is returned with the
+// makespans of all iterations in History order embedded via
+// RunWithHistory; use that variant when the trajectory matters.
+func (p Persistence) Run(w *Workload, m *cluster.Machine) *Result {
+	res, _ := p.RunWithHistory(w, m)
+	return res
+}
+
+// RunWithHistory runs the iterative protocol and returns the final
+// iteration's result together with the per-iteration makespans.
+func (p Persistence) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, []float64) {
+	iters := p.Iterations
+	if iters < 1 {
+		iters = 3
+	}
+	n := len(w.Tasks)
+
+	// Iteration 1: static block, measuring per-task times.
+	assign := make([]int, n)
+	per := (n + m.P - 1) / m.P
+	for i := range assign {
+		r := i / per
+		if r >= m.P {
+			r = m.P - 1
+		}
+		assign[i] = r
+	}
+
+	measured := make([]float64, n)
+	var history []float64
+	var res *Result
+	for it := 0; it < iters; it++ {
+		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
+		history = append(history, res.Makespan)
+		if it == iters-1 {
+			break
+		}
+		// Rebalance for the next iteration on the measured profile.
+		b := semimatching.Complete(n, m.P)
+		assign = semimatching.LPT(b, measured).Of
+	}
+	return res, history
+}
+
+// runAssignmentMeasuring is runAssignment plus per-task time capture.
+func runAssignmentMeasuring(model string, w *Workload, m *cluster.Machine, assign []int, measured []float64) *Result {
+	res := newResult(model, m.P)
+	seen := make([]map[int]bool, m.P)
+	clock := make([]float64, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+	for i, t := range w.Tasks {
+		r := assign[i]
+		dt := m.TaskTimeAt(r, t.Cost, clock[r])
+		measured[i] = dt
+		res.BusyTime[r] += dt
+		clock[r] += dt
+		res.TasksRun[r]++
+		for _, b := range t.Blocks {
+			owner := blockOwner(b, m.P)
+			if owner == r || seen[r][b] {
+				continue
+			}
+			seen[r][b] = true
+			ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
+			res.CommTime[r] += ct
+			clock[r] += ct
+		}
+	}
+	for r := 0; r < m.P; r++ {
+		res.FinishTime[r] = clock[r]
+	}
+	res.finalize()
+	return res
+}

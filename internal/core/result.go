@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"execmodels/internal/cluster"
+)
+
+// Result is the outcome of running one execution model on one workload
+// and machine, entirely in simulated time except for ScheduleCost.
+type Result struct {
+	Model string
+	Ranks int
+
+	Makespan   float64   // simulated seconds until the last rank finished
+	BusyTime   []float64 // per-rank simulated task-execution time
+	CommTime   []float64 // per-rank simulated communication time
+	FinishTime []float64 // per-rank completion time
+	TasksRun   []int     // per-rank task counts
+
+	// ScheduleCost is the *real* wall-clock time (seconds) spent computing
+	// the assignment — the partitioner cost experiment (T4) compares this
+	// between semi-matching and hypergraph partitioning.
+	ScheduleCost float64
+
+	// Runtime overheads, simulated.
+	CounterOps   int64
+	CounterWait  float64 // total counter queueing delay across ranks
+	Steals       int64   // successful steals
+	RemoteSteals int64   // successful steals that crossed a node boundary
+	FailedSteals int64
+	StealTime    float64 // total time spent in steal protocol
+}
+
+// newResult allocates the per-rank slices.
+func newResult(model string, ranks int) *Result {
+	return &Result{
+		Model:      model,
+		Ranks:      ranks,
+		BusyTime:   make([]float64, ranks),
+		CommTime:   make([]float64, ranks),
+		FinishTime: make([]float64, ranks),
+		TasksRun:   make([]int, ranks),
+	}
+}
+
+// finalize computes the makespan from the per-rank finish times.
+func (r *Result) finalize() {
+	for _, f := range r.FinishTime {
+		if f > r.Makespan {
+			r.Makespan = f
+		}
+	}
+}
+
+// LoadImbalance returns max(busy)/mean(busy); 1.0 is perfect balance.
+func (r *Result) LoadImbalance() float64 {
+	var sum, mx float64
+	for _, b := range r.BusyTime {
+		sum += b
+		if b > mx {
+			mx = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return mx / (sum / float64(len(r.BusyTime)))
+}
+
+// Efficiency returns ideal/makespan for the given ideal (perfectly
+// balanced, zero-overhead) time.
+func (r *Result) Efficiency(ideal float64) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return ideal / r.Makespan
+}
+
+// TotalIdle returns the summed per-rank idle time (finish of the last
+// rank minus each rank's busy+comm time).
+func (r *Result) TotalIdle() float64 {
+	var idle float64
+	for i := range r.BusyTime {
+		idle += r.Makespan - r.BusyTime[i] - r.CommTime[i]
+	}
+	return idle
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s P=%-3d makespan=%.4gs imbalance=%.3f", r.Model, r.Ranks, r.Makespan, r.LoadImbalance())
+	if r.CounterOps > 0 {
+		fmt.Fprintf(&b, " counterOps=%d wait=%.3gs", r.CounterOps, r.CounterWait)
+	}
+	if r.Steals+r.FailedSteals > 0 {
+		fmt.Fprintf(&b, " steals=%d failed=%d", r.Steals, r.FailedSteals)
+	}
+	if r.ScheduleCost > 0 {
+		fmt.Fprintf(&b, " schedCost=%.3gs", r.ScheduleCost)
+	}
+	return b.String()
+}
+
+// Model is one execution model: a strategy for getting a workload's tasks
+// executed on a machine.
+type Model interface {
+	Name() string
+	Run(w *Workload, m *cluster.Machine) *Result
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// workloadJSON is the stable on-disk representation of a Workload.
+type workloadJSON struct {
+	Version    int    `json:"version"`
+	Name       string `json:"name"`
+	NumBlocks  int    `json:"numBlocks"`
+	BlockBytes []int  `json:"blockBytes"`
+	Tasks      []struct {
+		ID      int     `json:"id"`
+		Cost    float64 `json:"cost"`
+		EstCost float64 `json:"estCost"`
+		Blocks  []int   `json:"blocks"`
+	} `json:"tasks"`
+}
+
+const workloadVersion = 1
+
+// WriteWorkload serializes w as JSON, so expensive chemistry workloads
+// (Schwarz screening over thousands of shell pairs) can be generated once
+// and replayed across experiment runs and machines.
+func WriteWorkload(out io.Writer, w *Workload) error {
+	doc := workloadJSON{
+		Version:    workloadVersion,
+		Name:       w.Name,
+		NumBlocks:  w.NumBlocks,
+		BlockBytes: w.BlockBytes,
+	}
+	for _, t := range w.Tasks {
+		doc.Tasks = append(doc.Tasks, struct {
+			ID      int     `json:"id"`
+			Cost    float64 `json:"cost"`
+			EstCost float64 `json:"estCost"`
+			Blocks  []int   `json:"blocks"`
+		}{t.ID, t.Cost, t.EstCost, t.Blocks})
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(doc)
+}
+
+// ReadWorkload deserializes a workload written by WriteWorkload,
+// validating internal consistency (block references in range, positive
+// costs).
+func ReadWorkload(in io.Reader) (*Workload, error) {
+	var doc workloadJSON
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: bad workload JSON: %w", err)
+	}
+	if doc.Version != workloadVersion {
+		return nil, fmt.Errorf("core: workload version %d, want %d", doc.Version, workloadVersion)
+	}
+	if len(doc.BlockBytes) != doc.NumBlocks {
+		return nil, fmt.Errorf("core: %d block sizes for %d blocks", len(doc.BlockBytes), doc.NumBlocks)
+	}
+	w := &Workload{
+		Name:       doc.Name,
+		NumBlocks:  doc.NumBlocks,
+		BlockBytes: doc.BlockBytes,
+	}
+	for i, t := range doc.Tasks {
+		if t.Cost < 0 || t.EstCost < 0 {
+			return nil, fmt.Errorf("core: task %d has negative cost", i)
+		}
+		for _, b := range t.Blocks {
+			if b < 0 || b >= doc.NumBlocks {
+				return nil, fmt.Errorf("core: task %d references block %d of %d", i, b, doc.NumBlocks)
+			}
+		}
+		w.Tasks = append(w.Tasks, Task{ID: t.ID, Cost: t.Cost, EstCost: t.EstCost, Blocks: t.Blocks})
+	}
+	return w, nil
+}

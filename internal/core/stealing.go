@@ -1,0 +1,208 @@
+package core
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"execmodels/internal/cluster"
+)
+
+// StealPolicy selects what a successful steal takes from the victim.
+type StealPolicy int
+
+const (
+	// StealHalf takes the older half of the victim's queue (default).
+	StealHalf StealPolicy = iota
+	// StealOne takes a single task.
+	StealOne
+)
+
+// VictimPolicy selects how thieves pick their victims.
+type VictimPolicy int
+
+const (
+	// RandomVictim picks victims uniformly at random (default; requires
+	// no global information).
+	RandomVictim VictimPolicy = iota
+	// MostLoadedVictim picks the rank with the longest queue — an oracle
+	// policy that assumes free global load information, used as an
+	// ablation upper bound.
+	MostLoadedVictim
+)
+
+// WorkStealing is the distributed-dynamic execution model: tasks start in
+// per-rank queues under a static block distribution; ranks execute
+// locally and steal from others when they run dry. Steal round-trips are
+// charged at network cost; failed attempts are charged too.
+type WorkStealing struct {
+	Steal  StealPolicy
+	Victim VictimPolicy
+	Seed   int64
+
+	// Hierarchical prefers victims on the thief's own node: a local
+	// victim with work is stolen from at intra-node cost; only a
+	// work-less node falls back to remote steals. Requires a machine with
+	// CoresPerNode > 1 to differ from flat stealing.
+	Hierarchical bool
+}
+
+// Name implements Model.
+func (ws WorkStealing) Name() string {
+	switch {
+	case ws.Hierarchical:
+		return "work-stealing-hier"
+	case ws.Steal == StealOne && ws.Victim == MostLoadedVictim:
+		return "work-stealing-one-maxvictim"
+	case ws.Steal == StealOne:
+		return "work-stealing-one"
+	case ws.Victim == MostLoadedVictim:
+		return "work-stealing-maxvictim"
+	default:
+		return "work-stealing"
+	}
+}
+
+// Run implements Model.
+func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
+	res := newResult(ws.Name(), m.P)
+	rng := rand.New(rand.NewSource(ws.Seed))
+	n := len(w.Tasks)
+
+	// Initial static block distribution of task IDs.
+	queues := make([][]int, m.P)
+	per := (n + m.P - 1) / m.P
+	for i := 0; i < n; i++ {
+		r := i / per
+		if r >= m.P {
+			r = m.P - 1
+		}
+		queues[r] = append(queues[r], i)
+	}
+
+	seen := make([]map[int]bool, m.P)
+	fails := make([]int, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+	remaining := n
+
+	h := make(rankHeap, 0, m.P)
+	for r := 0; r < m.P; r++ {
+		heap.Push(&h, rankEvent{rank: r, time: 0})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(rankEvent)
+		r := ev.rank
+
+		if len(queues[r]) > 0 {
+			// Execute the next local task (owner side: newest first, so
+			// stolen work is the coldest — matches deque semantics).
+			id := queues[r][len(queues[r])-1]
+			queues[r] = queues[r][:len(queues[r])-1]
+			task := &w.Tasks[id]
+			t := ev.time + m.TaskTimeAt(r, task.Cost, ev.time)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: t, TaskID: task.ID, Activity: "task"})
+			res.BusyTime[r] += t - ev.time
+			res.TasksRun[r]++
+			for _, b := range task.Blocks {
+				owner := blockOwner(b, m.P)
+				if owner == r || seen[r][b] {
+					continue
+				}
+				seen[r][b] = true
+				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
+				res.CommTime[r] += ct
+				t += ct
+			}
+			remaining--
+			fails[r] = 0
+			heap.Push(&h, rankEvent{rank: r, time: t})
+			continue
+		}
+
+		if remaining == 0 {
+			res.FinishTime[r] = ev.time
+			continue
+		}
+
+		// Steal attempt.
+		victim := ws.pickVictim(r, queues, rng, m)
+		cost := m.RoundTrip()
+		if victim >= 0 {
+			cost = m.RoundTripBetween(r, victim)
+		}
+		if victim >= 0 && len(queues[victim]) > 0 {
+			var loot []int
+			if ws.Steal == StealOne {
+				loot = []int{queues[victim][0]}
+				queues[victim] = queues[victim][1:]
+			} else {
+				take := (len(queues[victim]) + 1) / 2
+				loot = append(loot, queues[victim][:take]...)
+				queues[victim] = queues[victim][take:]
+			}
+			// Stolen tasks arrive oldest-first at the thief's queue tail
+			// is wrong — keep them so the thief pops them in victim order.
+			for i, j := 0, len(loot)-1; i < j; i, j = i+1, j-1 {
+				loot[i], loot[j] = loot[j], loot[i]
+			}
+			queues[r] = append(queues[r], loot...)
+			res.Steals++
+			if !m.SameNode(r, victim) {
+				res.RemoteSteals++
+			}
+			fails[r] = 0
+			// Transferring task descriptors: one extra latency per steal.
+			if m.SameNode(r, victim) {
+				cost += m.RoundTripBetween(r, victim) / 2
+			} else {
+				cost += m.Cfg.Latency
+			}
+		} else {
+			res.FailedSteals++
+			fails[r]++
+			// Exponential backoff caps the event-count blowup while the
+			// last tasks drain.
+			backoff := float64(uint(1)<<min(fails[r], 10)) * m.Cfg.Latency
+			cost += backoff
+		}
+		res.StealTime += cost
+		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: ev.time + cost, TaskID: -1, Activity: "steal"})
+		heap.Push(&h, rankEvent{rank: r, time: ev.time + cost})
+	}
+	res.finalize()
+	return res
+}
+
+func (ws WorkStealing) pickVictim(self int, queues [][]int, rng *rand.Rand, m *cluster.Machine) int {
+	p := len(queues)
+	if p == 1 {
+		return -1
+	}
+	if ws.Hierarchical {
+		// Prefer a same-node victim that has work; fall back to remote.
+		var local []int
+		for r := 0; r < p; r++ {
+			if r != self && m.SameNode(self, r) && len(queues[r]) > 0 {
+				local = append(local, r)
+			}
+		}
+		if len(local) > 0 {
+			return local[rng.Intn(len(local))]
+		}
+	}
+	if ws.Victim == MostLoadedVictim {
+		best, bestLen := -1, 0
+		for r := 0; r < p; r++ {
+			if r != self && len(queues[r]) > bestLen {
+				best, bestLen = r, len(queues[r])
+			}
+		}
+		return best
+	}
+	v := rng.Intn(p - 1)
+	if v >= self {
+		v++
+	}
+	return v
+}

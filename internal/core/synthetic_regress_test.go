@@ -1,0 +1,17 @@
+package core
+
+import "testing"
+
+// Regression: NumBlocks smaller than the per-task block draw used to
+// spin forever trying to collect distinct blocks.
+func TestSyntheticFewBlocksTerminates(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		w := Synthetic(SyntheticOptions{NumTasks: 6, NumBlocks: 1, Dist: "bimodal", Seed: seed})
+		for _, task := range w.Tasks {
+			if len(task.Blocks) != 1 {
+				t.Fatalf("task has %d blocks with NumBlocks=1", len(task.Blocks))
+			}
+		}
+		Synthetic(SyntheticOptions{NumTasks: 6, NumBlocks: 2, Dist: "lognormal", Seed: seed})
+	}
+}

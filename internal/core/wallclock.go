@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/deque"
+	"execmodels/internal/ga"
+	"execmodels/internal/linalg"
+)
+
+// WallResult is the outcome of a real (wall-clock) parallel Fock build.
+type WallResult struct {
+	F          *linalg.Matrix
+	Elapsed    time.Duration
+	WorkerBusy []time.Duration // per-worker time spent executing tasks
+	Steals     int64
+	CounterOps int64
+}
+
+// LoadImbalance returns max/mean worker busy time.
+func (r *WallResult) LoadImbalance() float64 {
+	var sum, mx time.Duration
+	for _, b := range r.WorkerBusy {
+		sum += b
+		if b > mx {
+			mx = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(mx) / (float64(sum) / float64(len(r.WorkerBusy)))
+}
+
+// wallRun drives the shared scaffolding of all wall-clock executors: it
+// spawns workers, each pulling task indices from nextTask until exhausted,
+// digesting into worker-private J/K and accumulating into shared arrays at
+// the end.
+func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
+	nextTask func(worker int) (int, bool)) *WallResult {
+	if workers < 1 {
+		panic(fmt.Sprintf("core: workers = %d", workers))
+	}
+	n := fw.Basis.NBF
+	jArr := ga.NewArray(n, n, workers)
+	kArr := ga.NewArray(n, n, workers)
+	busy := make([]time.Duration, workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			jLoc := linalg.NewMatrix(n, n)
+			kLoc := linalg.NewMatrix(n, n)
+			for {
+				id, ok := nextTask(wk)
+				if !ok {
+					break
+				}
+				t0 := time.Now()
+				fw.ExecuteTask(&fw.Tasks[id], d, jLoc, kLoc)
+				busy[wk] += time.Since(t0)
+			}
+			jArr.Acc(0, 0, n, n, jLoc.Data, 1)
+			kArr.Acc(0, 0, n, n, kLoc.Data, 1)
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	f := h.Clone()
+	f.AddScaled(1, jArr.ToMatrix())
+	f.AddScaled(-0.5, kArr.ToMatrix())
+	f.Symmetrize()
+	return &WallResult{F: f, Elapsed: elapsed, WorkerBusy: busy}
+}
+
+// WallStatic executes the Fock build with a static block schedule on real
+// goroutines.
+func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
+	n := len(fw.Tasks)
+	per := (n + workers - 1) / workers
+	cursors := make([]int64, workers)
+	return wallRun(fw, h, d, workers, func(wk int) (int, bool) {
+		lo, hi := wk*per, (wk+1)*per
+		if hi > n {
+			hi = n
+		}
+		c := int(atomic.AddInt64(&cursors[wk], 1)) - 1
+		if lo+c >= hi {
+			return 0, false
+		}
+		return lo + c, true
+	})
+}
+
+// WallDynamic executes the Fock build pulling tasks from a shared atomic
+// counter (NXTVAL).
+func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
+	var counter ga.Counter
+	n := int64(len(fw.Tasks))
+	res := wallRun(fw, h, d, workers, func(int) (int, bool) {
+		v := counter.NextVal()
+		if v >= n {
+			return 0, false
+		}
+		return int(v), true
+	})
+	res.CounterOps = counter.Ops()
+	return res
+}
+
+// WallStealing executes the Fock build with per-worker deques and
+// steal-half work stealing on real goroutines.
+func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed int64) *WallResult {
+	n := len(fw.Tasks)
+	deques := make([]*deque.Deque, workers)
+	for wk := range deques {
+		deques[wk] = new(deque.Deque)
+	}
+	per := (n + workers - 1) / workers
+	for i := 0; i < n; i++ {
+		r := i / per
+		if r >= workers {
+			r = workers - 1
+		}
+		deques[r].Push(i)
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var steals atomic.Int64
+	rngs := make([]*rand.Rand, workers)
+	for wk := range rngs {
+		rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
+	}
+
+	res := wallRun(fw, h, d, workers, func(wk int) (int, bool) {
+		for {
+			if id, ok := deques[wk].Pop(); ok {
+				remaining.Add(-1)
+				return id, true
+			}
+			if remaining.Load() <= 0 {
+				return 0, false
+			}
+			victim := rngs[wk].Intn(workers)
+			if victim == wk {
+				continue
+			}
+			if loot := deques[victim].StealHalf(); loot != nil {
+				steals.Add(1)
+				deques[wk].PushBatch(loot)
+			}
+		}
+	})
+	res.Steals = steals.Load()
+	return res
+}
+
+// ParallelFockBuilder returns a chem.FockBuilder that runs every Fock
+// build of an SCF iteration through the given wall-clock executor. mode is
+// "static", "dynamic" or "stealing".
+func ParallelFockBuilder(mode string, workers int) (chem.FockBuilder, error) {
+	switch mode {
+	case "static":
+		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+			return WallStatic(fw, h, d, workers).F
+		}, nil
+	case "dynamic":
+		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+			return WallDynamic(fw, h, d, workers).F
+		}, nil
+	case "stealing":
+		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+			return WallStealing(fw, h, d, workers, 1).F
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown wall-clock mode %q", mode)
+	}
+}

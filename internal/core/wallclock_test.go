@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/linalg"
+)
+
+// All wall-clock executors must reproduce the serial Fock matrix exactly
+// (up to floating-point accumulation order).
+func TestWallExecutorsMatchSerial(t *testing.T) {
+	fw := fockWorkload(t, 2)
+	bs := fw.Basis
+	mol := chem.WaterCluster(2, 11)
+	h := chem.CoreHamiltonian(bs, mol)
+	s := chem.Overlap(bs)
+	x := linalg.InvSqrtSym(s, 1e-10)
+	// Density from the core guess.
+	fp := linalg.TripleProduct(x, h)
+	_, cp := linalg.EigenSym(fp)
+	c := linalg.MatMul(x, cp)
+	n := bs.NBF
+	d := linalg.NewMatrix(n, n)
+	nocc := mol.NumElectrons() / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			for k := 0; k < nocc; k++ {
+				v += c.At(i, k) * c.At(j, k)
+			}
+			d.Set(i, j, 2*v)
+		}
+	}
+
+	want := fw.BuildFock(h, d)
+	for _, tc := range []struct {
+		name string
+		run  func() *WallResult
+	}{
+		{"static", func() *WallResult { return WallStatic(fw, h, d, 4) }},
+		{"dynamic", func() *WallResult { return WallDynamic(fw, h, d, 4) }},
+		{"stealing", func() *WallResult { return WallStealing(fw, h, d, 4, 7) }},
+	} {
+		res := tc.run()
+		if diff := res.F.MaxAbsDiff(want); diff > 1e-9 {
+			t.Errorf("%s: Fock differs from serial by %v", tc.name, diff)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: no elapsed time", tc.name)
+		}
+		if len(res.WorkerBusy) != 4 {
+			t.Errorf("%s: %d workers recorded", tc.name, len(res.WorkerBusy))
+		}
+	}
+}
+
+func TestWallDynamicCounterOps(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	bs := fw.Basis
+	n := bs.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	res := WallDynamic(fw, h, d, 3)
+	// One NextVal per task plus one final miss per worker.
+	want := int64(len(fw.Tasks) + 3)
+	if res.CounterOps != want {
+		t.Errorf("counter ops = %d, want %d", res.CounterOps, want)
+	}
+}
+
+func TestWallSingleWorker(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	serial := fw.BuildFock(h, d)
+	res := WallStealing(fw, h, d, 1, 1)
+	if diff := res.F.MaxAbsDiff(serial); diff > 1e-10 {
+		t.Errorf("single-worker stealing differs by %v", diff)
+	}
+	if res.Steals != 0 {
+		t.Errorf("%d steals with one worker", res.Steals)
+	}
+}
+
+func TestWallBadWorkersPanics(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WallStatic(fw, linalg.NewMatrix(n, n), linalg.Identity(n), 0)
+}
+
+// SCF through each parallel builder must converge to the serial energy.
+func TestParallelSCFEnergyMatch(t *testing.T) {
+	mol := chem.Water()
+	bs, err := chem.NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := chem.RunSCF(mol, bs, chem.SCFOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"static", "dynamic", "stealing"} {
+		builder, err := ParallelFockBuilder(mode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chem.RunSCF(mol, bs, chem.SCFOptions{}, builder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%s: SCF did not converge", mode)
+		}
+		if diff := res.Energy - ref.Energy; diff > 1e-8 || diff < -1e-8 {
+			t.Errorf("%s: energy %v differs from serial %v", mode, res.Energy, ref.Energy)
+		}
+	}
+	if _, err := ParallelFockBuilder("bogus", 2); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+}

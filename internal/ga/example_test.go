@@ -1,0 +1,41 @@
+package ga_test
+
+import (
+	"fmt"
+	"sync"
+
+	"execmodels/internal/ga"
+)
+
+// Concurrent one-sided accumulates into a shared array — the Fock
+// assembly pattern.
+func ExampleArray_Acc() {
+	a := ga.NewArray(4, 4, 2)
+	patch := []float64{1, 1, 1, 1}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Acc(1, 1, 2, 2, patch, 0.5)
+		}()
+	}
+	wg.Wait()
+	out := make([]float64, 4)
+	a.Get(1, 1, 2, 2, out)
+	fmt.Println(out)
+	// Output:
+	// [4 4 4 4]
+}
+
+// The NXTVAL dynamic work-distribution idiom.
+func ExampleCounter() {
+	var c ga.Counter
+	for i := 0; i < 3; i++ {
+		fmt.Println(c.NextVal())
+	}
+	// Output:
+	// 0
+	// 1
+	// 2
+}

@@ -1,0 +1,228 @@
+package ga
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"execmodels/internal/linalg"
+)
+
+func TestNewArrayPartition(t *testing.T) {
+	a := NewArray(10, 3, 4)
+	if a.Owners() != 4 {
+		t.Fatalf("owners = %d", a.Owners())
+	}
+	// 10 rows over 4 owners: 3,3,2,2.
+	counts := make([]int, 4)
+	for r := 0; r < 10; r++ {
+		counts[a.OwnerOf(r)]++
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("owner %d has %d rows, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestNewArrayMoreOwnersThanRows(t *testing.T) {
+	a := NewArray(2, 2, 8)
+	if a.Owners() != 2 {
+		t.Fatalf("owners = %d, want clamped to 2", a.Owners())
+	}
+}
+
+func TestOwnerOfMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(100)
+		p := 1 + rng.Intn(10)
+		a := NewArray(rows, 1, p)
+		prev := 0
+		for r := 0; r < rows; r++ {
+			o := a.OwnerOf(r)
+			if o < prev || o >= a.Owners() {
+				return false
+			}
+			prev = o
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	a := NewArray(6, 5, 3)
+	buf := make([]float64, 6*5)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	a.Put(0, 0, 6, 5, buf)
+	out := make([]float64, 6*5)
+	a.Get(0, 0, 6, 5, out)
+	for i := range buf {
+		if out[i] != buf[i] {
+			t.Fatalf("round trip lost element %d", i)
+		}
+	}
+}
+
+func TestPatchSpansSegments(t *testing.T) {
+	a := NewArray(9, 4, 3) // segments rows 0-2, 3-5, 6-8
+	patch := []float64{1, 2, 3, 4, 5, 6}
+	a.Put(2, 1, 3, 2, patch) // spans segments 0 and 1
+	out := make([]float64, 6)
+	a.Get(2, 1, 3, 2, out)
+	for i := range patch {
+		if out[i] != patch[i] {
+			t.Fatalf("cross-segment patch wrong at %d: %v", i, out)
+		}
+	}
+	// Neighbouring cells must be untouched.
+	one := make([]float64, 1)
+	a.Get(2, 0, 1, 1, one)
+	if one[0] != 0 {
+		t.Fatal("Put leaked outside patch")
+	}
+}
+
+func TestAcc(t *testing.T) {
+	a := NewArray(4, 4, 2)
+	buf := []float64{1, 1, 1, 1}
+	a.Acc(1, 1, 2, 2, buf, 2)
+	a.Acc(1, 1, 2, 2, buf, 0.5)
+	out := make([]float64, 4)
+	a.Get(1, 1, 2, 2, out)
+	for i, v := range out {
+		if v != 2.5 {
+			t.Fatalf("Acc[%d] = %v, want 2.5", i, v)
+		}
+	}
+}
+
+func TestAccConcurrent(t *testing.T) {
+	a := NewArray(8, 8, 4)
+	buf := make([]float64, 64)
+	for i := range buf {
+		buf[i] = 1
+	}
+	const workers, reps = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				a.Acc(0, 0, 8, 8, buf, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]float64, 64)
+	a.Get(0, 0, 8, 8, out)
+	for i, v := range out {
+		if v != workers*reps {
+			t.Fatalf("lost updates at %d: %v", i, v)
+		}
+	}
+	if _, _, accs := a.OpCounts(); accs != workers*reps {
+		t.Fatalf("acc count = %d", accs)
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := NewArray(3, 3, 2)
+	a.Acc(0, 0, 3, 3, make([]float64, 9), 1)
+	buf := []float64{5}
+	a.Put(1, 1, 1, 1, buf)
+	a.Zero()
+	out := make([]float64, 9)
+	a.Get(0, 0, 3, 3, out)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("Zero left data behind")
+		}
+	}
+}
+
+func TestMatrixConversion(t *testing.T) {
+	m := linalg.NewMatrixFrom(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	a := NewArray(3, 2, 2)
+	a.FromMatrix(m)
+	back := a.ToMatrix()
+	if back.MaxAbsDiff(m) != 0 {
+		t.Fatal("matrix round trip failed")
+	}
+}
+
+func TestPatchBoundsPanic(t *testing.T) {
+	a := NewArray(3, 3, 1)
+	for _, f := range []func(){
+		func() { a.Get(2, 2, 2, 2, make([]float64, 4)) },
+		func() { a.Put(-1, 0, 1, 1, make([]float64, 1)) },
+		func() { a.Acc(0, 3, 1, 1, make([]float64, 1), 1) },
+		func() { a.OwnerOf(3) },
+		func() { a.Get(0, 0, 2, 2, make([]float64, 3)) }, // short buffer
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounterSequential(t *testing.T) {
+	var c Counter
+	for i := int64(0); i < 5; i++ {
+		if v := c.NextVal(); v != i {
+			t.Fatalf("NextVal = %d, want %d", v, i)
+		}
+	}
+	if v := c.FetchAdd(10); v != 5 {
+		t.Fatalf("FetchAdd returned %d", v)
+	}
+	if c.Ops() != 6 {
+		t.Fatalf("ops = %d", c.Ops())
+	}
+	c.Reset()
+	if v := c.NextVal(); v != 0 {
+		t.Fatalf("after Reset NextVal = %d", v)
+	}
+}
+
+func TestCounterConcurrentUnique(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	got := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], c.NextVal())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*per)
+	for _, vs := range got {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("duplicate counter value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique values", len(seen))
+	}
+}

@@ -1,0 +1,114 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// level is one rung of the multilevel hierarchy: the coarse hypergraph and
+// the mapping from the finer level's vertices onto it.
+type level struct {
+	h    *Hypergraph
+	map_ []int // finer vertex -> coarse vertex
+}
+
+// coarsen contracts h by heavy-connectivity matching: each vertex is
+// paired with the neighbour it shares the most (weighted, size-normalized)
+// nets with. Returns the coarse hypergraph and the vertex map, or ok=false
+// when no meaningful contraction was possible.
+func coarsen(h *Hypergraph, rng *rand.Rand) (coarse *Hypergraph, vmap []int, ok bool) {
+	n := h.NumVertices()
+	inc := h.pinsOf()
+	matched := make([]int, n)
+	for i := range matched {
+		matched[i] = -1
+	}
+
+	order := rng.Perm(n)
+	nCoarse := 0
+	vmap = make([]int, n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+
+	score := make(map[int]float64)
+	for _, v := range order {
+		if matched[v] != -1 {
+			continue
+		}
+		// Score unmatched neighbours by shared net weight / (|net|-1).
+		clear(score)
+		for _, nn := range inc[v] {
+			pins := h.Nets[nn]
+			w := h.NetW[nn] / float64(len(pins)-1)
+			for _, u := range pins {
+				if u != v && matched[u] == -1 {
+					score[u] += w
+				}
+			}
+		}
+		best, bestScore := -1, 0.0
+		for u, s := range score {
+			if s > bestScore || (s == bestScore && best != -1 && u < best) {
+				best, bestScore = u, s
+			}
+		}
+		matched[v] = v
+		vmap[v] = nCoarse
+		if best != -1 {
+			matched[best] = v
+			vmap[best] = nCoarse
+		}
+		nCoarse++
+	}
+
+	if nCoarse > n*9/10 {
+		return nil, nil, false // not shrinking enough to be worth a level
+	}
+
+	coarse = &Hypergraph{VWeights: make([]float64, nCoarse)}
+	for v, cv := range vmap {
+		coarse.VWeights[cv] += h.VWeights[v]
+	}
+	// Project nets, dropping those that collapse to a single coarse pin
+	// and merging identical pin sets.
+	type netKey string
+	merged := make(map[netKey]int)
+	for ni, pins := range h.Nets {
+		cp := make([]int, 0, len(pins))
+		seen := make(map[int]bool, len(pins))
+		for _, v := range pins {
+			cv := vmap[v]
+			if !seen[cv] {
+				seen[cv] = true
+				cp = append(cp, cv)
+			}
+		}
+		if len(cp) < 2 {
+			continue
+		}
+		sort.Ints(cp)
+		key := netKey(intsKey(cp))
+		if j, dup := merged[key]; dup {
+			coarse.NetW[j] += h.NetW[ni]
+			continue
+		}
+		merged[key] = len(coarse.Nets)
+		coarse.Nets = append(coarse.Nets, cp)
+		coarse.NetW = append(coarse.NetW, h.NetW[ni])
+	}
+	return coarse, vmap, true
+}
+
+// intsKey packs sorted ints into a compact string key.
+func intsKey(xs []int) string {
+	buf := make([]byte, 0, len(xs)*5)
+	for _, x := range xs {
+		for x >= 0x80 {
+			buf = append(buf, byte(x)|0x80)
+			x >>= 7
+		}
+		buf = append(buf, byte(x))
+	}
+	return string(buf)
+}

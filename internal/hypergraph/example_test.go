@@ -1,0 +1,28 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"execmodels/internal/hypergraph"
+)
+
+// Partition two 4-cliques joined by a single bridge net: the partitioner
+// must cut only the bridge.
+func ExamplePartition() {
+	h := hypergraph.New(8)
+	for _, base := range []int{0, 4} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				h.AddNet(1, base+i, base+j)
+			}
+		}
+	}
+	h.AddNet(1, 0, 4) // the bridge
+
+	res := hypergraph.Partition(h, 2, hypergraph.Options{Seed: 1})
+	fmt.Println("cut:", res.Cut)
+	fmt.Println("balanced:", res.Imbalance == 0)
+	// Output:
+	// cut: 1
+	// balanced: true
+}

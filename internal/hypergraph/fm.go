@@ -1,0 +1,147 @@
+package hypergraph
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// refineFM runs Fiduccia–Mattheyses-style passes with tentative moves and
+// best-prefix rollback: within a pass every vertex moves at most once (to
+// its best feasible destination, even at negative gain, to climb out of
+// local minima), and the pass is rolled back to the prefix with the best
+// cumulative gain. Passes repeat until one yields no improvement.
+//
+// Compared with the greedy `refine`, FM escapes zero-gain plateaus at
+// roughly 2-4x the cost — the A8 ablation quantifies the trade.
+func refineFM(h *Hypergraph, part []int, k int, opts Options, rng *rand.Rand) {
+	n := h.NumVertices()
+	if n == 0 || len(h.Nets) == 0 || k < 2 {
+		return
+	}
+	inc := h.pinsOf()
+	netCnt := make([]map[int]int, len(h.Nets))
+	for ni, pins := range h.Nets {
+		m := make(map[int]int, 4)
+		for _, v := range pins {
+			m[part[v]]++
+		}
+		netCnt[ni] = m
+	}
+	loads := PartWeights(h, part, k)
+	total := h.TotalVertexWeight()
+	var wmax float64
+	for _, w := range h.VWeights {
+		if w > wmax {
+			wmax = w
+		}
+	}
+	cap_ := (1+opts.Eps)*total/float64(k) + wmax
+
+	gainOf := func(v, dst int) float64 {
+		src := part[v]
+		var g float64
+		for _, ni := range inc[v] {
+			cnt := netCnt[ni]
+			if cnt[src] == 1 && cnt[dst] > 0 {
+				g += h.NetW[ni]
+			} else if cnt[src] > 1 && cnt[dst] == 0 {
+				g -= h.NetW[ni]
+			}
+		}
+		return g
+	}
+	bestMove := func(v int) (dst int, gain float64, ok bool) {
+		src := part[v]
+		wv := h.VWeights[v]
+		best, bestGain := -1, 0.0
+		for d := 0; d < k; d++ {
+			if d == src || loads[d]+wv > cap_ {
+				continue
+			}
+			g := gainOf(v, d)
+			if best == -1 || g > bestGain {
+				best, bestGain = d, g
+			}
+		}
+		return best, bestGain, best != -1
+	}
+	apply := func(v, dst int) int {
+		src := part[v]
+		for _, ni := range inc[v] {
+			netCnt[ni][src]--
+			if netCnt[ni][src] == 0 {
+				delete(netCnt[ni], src)
+			}
+			netCnt[ni][dst]++
+		}
+		loads[src] -= h.VWeights[v]
+		loads[dst] += h.VWeights[v]
+		part[v] = dst
+		return src
+	}
+
+	type record struct{ v, from int }
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		locked := make([]bool, n)
+		pq := &moveHeap{}
+		heap.Init(pq)
+		for _, v := range rng.Perm(n) {
+			if dst, g, ok := bestMove(v); ok {
+				heap.Push(pq, moveEntry{v: v, dst: dst, gain: g})
+			}
+		}
+
+		var history []record
+		var cum, bestCum float64
+		bestLen := 0
+		for pq.Len() > 0 && len(history) < n {
+			e := heap.Pop(pq).(moveEntry)
+			if locked[e.v] {
+				continue
+			}
+			// Lazy verification: gains go stale as neighbours move.
+			dst, g, ok := bestMove(e.v)
+			if !ok {
+				continue
+			}
+			if dst != e.dst || g != e.gain {
+				heap.Push(pq, moveEntry{v: e.v, dst: dst, gain: g})
+				continue
+			}
+			from := apply(e.v, e.dst)
+			locked[e.v] = true
+			history = append(history, record{v: e.v, from: from})
+			cum += e.gain
+			if cum > bestCum+1e-12 {
+				bestCum = cum
+				bestLen = len(history)
+			}
+		}
+		// Roll back everything past the best prefix.
+		for i := len(history) - 1; i >= bestLen; i-- {
+			apply(history[i].v, history[i].from)
+		}
+		if bestCum <= 1e-12 {
+			break
+		}
+	}
+}
+
+type moveEntry struct {
+	v, dst int
+	gain   float64
+}
+
+type moveHeap []moveEntry
+
+func (h moveHeap) Len() int           { return len(h) }
+func (h moveHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h moveHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *moveHeap) Push(x any)        { *h = append(*h, x.(moveEntry)) }
+func (h *moveHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,103 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusteredGraph builds c clusters of size s with dense internal nets and
+// a few bridges.
+func clusteredGraph(c, s, bridges int, seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	h := New(c * s)
+	for ci := 0; ci < c; ci++ {
+		base := ci * s
+		for i := 0; i < 5*s; i++ {
+			a, b := base+rng.Intn(s), base+rng.Intn(s)
+			if a != b {
+				h.AddNet(1, a, b)
+			}
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		h.AddNet(1, rng.Intn(c*s), rng.Intn(c*s))
+	}
+	return h
+}
+
+func TestFMFindsClusters(t *testing.T) {
+	h := clusteredGraph(2, 12, 1, 3)
+	res := Partition(h, 2, Options{Seed: 5, FM: true})
+	if res.Cut > 3 {
+		t.Fatalf("FM cut %v; clusters not separated", res.Cut)
+	}
+}
+
+// FM must never be worse than greedy on the same instance (same seed,
+// same hierarchy): it explores a superset of greedy's moves.
+func TestFMAtLeastAsGoodAsGreedy(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		h := clusteredGraph(4, 25, 12, seed)
+		greedy := Partition(h, 4, Options{Seed: seed})
+		fm := Partition(h, 4, Options{Seed: seed, FM: true})
+		// Allow a small tolerance: the two refiners can settle in
+		// different balanced optima.
+		if fm.Cut > greedy.Cut*1.1+2 {
+			t.Errorf("seed %d: FM cut %v much worse than greedy %v", seed, fm.Cut, greedy.Cut)
+		}
+	}
+}
+
+// FM's rollback must leave a consistent state: recomputed cut equals the
+// reported cut, and part weights match.
+func TestFMConsistentState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New(80)
+	for i := range h.VWeights {
+		h.VWeights[i] = 1 + rng.Float64()*3
+	}
+	for e := 0; e < 300; e++ {
+		pins := []int{rng.Intn(80), rng.Intn(80), rng.Intn(80)}
+		h.AddNet(0.5+rng.Float64(), pins...)
+	}
+	res := Partition(h, 5, Options{Seed: 9, FM: true})
+	if got := ConnectivityCut(h, res.Part, 5); got != res.Cut {
+		t.Fatalf("reported cut %v != recomputed %v", res.Cut, got)
+	}
+	if res.Imbalance > 0.05+4/(h.TotalVertexWeight()/5) {
+		t.Fatalf("imbalance %v", res.Imbalance)
+	}
+}
+
+// A plateau instance greedy cannot cross: two equal-size cliques each
+// split across the two parts; every single move has zero or negative
+// gain under greedy (moving one vertex into its clique's majority side
+// unbalances), but an FM pass sequence can swap whole groups.
+func TestFMEscapesPlateau(t *testing.T) {
+	// 4 vertices per clique, 2 cliques. Adversarial initial state is
+	// created internally by seeding; we just require FM to land at (or
+	// near) the ideal cut of 0 with each clique whole.
+	h := New(8)
+	for _, base := range []int{0, 4} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				h.AddNet(1, base+i, base+j)
+			}
+		}
+	}
+	res := Partition(h, 2, Options{Seed: 1, FM: true})
+	if res.Cut != 0 {
+		t.Fatalf("FM cut %v, want 0 (parts %v)", res.Cut, res.Part)
+	}
+}
+
+func TestFMDeterministic(t *testing.T) {
+	h := clusteredGraph(3, 20, 6, 11)
+	r1 := Partition(h, 3, Options{Seed: 2, FM: true})
+	r2 := Partition(h, 3, Options{Seed: 2, FM: true})
+	for i := range r1.Part {
+		if r1.Part[i] != r2.Part[i] {
+			t.Fatal("FM not deterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of the symmetric
+// matrix a using the cyclic Jacobi method. It returns the eigenvalues in
+// ascending order and a matrix whose columns are the corresponding
+// orthonormal eigenvectors. The input is not modified.
+//
+// Jacobi is O(n^3) with a modest constant and is numerically very robust,
+// which is all the SCF driver needs: basis-set dimensions in this repo stay
+// in the low hundreds.
+func EigenSym(a *Matrix) (vals []float64, vecs *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: EigenSym of non-square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-14*(1+w.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Stable computation of the rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	// Extract eigenvalues and sort ascending, permuting eigenvectors along.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+
+	vals = make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for k, pr := range pairs {
+		vals[k] = pr.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, pr.col))
+		}
+	}
+	return vals, vecs
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into the eigenvector matrix v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	n := m.Rows
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := m.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// InvSqrtSym returns s^{-1/2} for a symmetric positive-definite matrix s,
+// computed via its eigendecomposition. This is the symmetric (Löwdin)
+// orthogonalization matrix used by SCF. Eigenvalues below floor are clamped
+// to floor to keep near-linear-dependent basis sets stable.
+func InvSqrtSym(s *Matrix, floor float64) *Matrix {
+	vals, vecs := EigenSym(s)
+	n := s.Rows
+	d := NewMatrix(n, n)
+	for i, v := range vals {
+		if v < floor {
+			v = floor
+		}
+		d.Set(i, i, 1/math.Sqrt(v))
+	}
+	return MatMul(vecs, MatMul(d, vecs.Transpose()))
+}

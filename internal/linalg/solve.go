@@ -1,0 +1,109 @@
+package linalg
+
+import "math"
+
+// Solve solves the dense linear system a·x = b by Gaussian elimination
+// with partial pivoting, without modifying its inputs. It reports
+// ok=false for (near-)singular systems.
+func Solve(a *Matrix, b []float64) (x []float64, ok bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: Solve dimension mismatch")
+	}
+	m := append([]float64(nil), a.Data...)
+	rhs := append([]float64(nil), b...)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		best, bestAbs := col, math.Abs(m[piv[col]*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[piv[r]*n+col]); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if bestAbs < 1e-14 {
+			return nil, false
+		}
+		piv[col], piv[best] = piv[best], piv[col]
+		pr := piv[col]
+		for r := col + 1; r < n; r++ {
+			rr := piv[r]
+			factor := m[rr*n+col] / m[pr*n+col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[rr*n+c] -= factor * m[pr*n+c]
+			}
+			rhs[rr] -= factor * rhs[pr]
+		}
+	}
+	x = make([]float64, n)
+	for col := n - 1; col >= 0; col-- {
+		pr := piv[col]
+		s := rhs[pr]
+		for c := col + 1; c < n; c++ {
+			s -= m[pr*n+c] * x[c]
+		}
+		x[col] = s / m[pr*n+col]
+	}
+	return x, true
+}
+
+// Cholesky returns the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix, or ok=false if a is not (within
+// floating-point) positive definite.
+func Cholesky(a *Matrix) (l *Matrix, ok bool) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	l = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}
+
+// SolveCholesky solves a·x = b given the Cholesky factor L of a, via
+// forward and backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveCholesky dimension mismatch")
+	}
+	// L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

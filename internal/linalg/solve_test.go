@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 3})
+	x, ok := Solve(a, []float64{5, 10})
+	if !ok {
+		t.Fatal("solver failed")
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, ok := Solve(a, []float64{1, 2}); ok {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveDoesNotModifyInputs(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 1, 1, 3})
+	b := []float64{1, 2}
+	Solve(a, b)
+	if a.At(0, 0) != 4 || b[1] != 2 {
+		t.Fatal("Solve modified its inputs")
+	}
+}
+
+// Property: Solve then multiply back reproduces b.
+func TestSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, n)
+		// Diagonal boost keeps conditioning reasonable.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 5)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, ok := Solve(a, b)
+		if !ok {
+			return false
+		}
+		r := MatVec(a, x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// a = [[4,2],[2,5]] = L·Lᵀ with L = [[2,0],[1,2]].
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 5})
+	l, ok := Cholesky(a)
+	if !ok {
+		t.Fatal("SPD matrix rejected")
+	}
+	want := NewMatrixFrom(2, 2, []float64{2, 0, 1, 2})
+	if l.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("L =\n%v", l)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, ok := Cholesky(a); ok {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+// Property: Cholesky reconstruction and solve agree with Solve.
+func TestCholeskyReconstructAndSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		b := randomMatrix(rng, n, n)
+		a := MatMul(b.Transpose(), b)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		l, ok := Cholesky(a)
+		if !ok {
+			return false
+		}
+		if MatMul(l, l.Transpose()).MaxAbsDiff(a) > 1e-9 {
+			return false
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x1 := SolveCholesky(l, rhs)
+		x2, _ := Solve(a, rhs)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Solve(NewMatrix(2, 3), []float64{1, 2})
+}

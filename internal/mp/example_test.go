@@ -1,0 +1,27 @@
+package mp_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"execmodels/internal/mp"
+)
+
+// Four ranks sum their rank numbers with an allreduce; every rank sees
+// the same total.
+func ExampleWorld_Run() {
+	var mu sync.Mutex
+	var got []float64
+	world := mp.NewWorld(4)
+	world.Run(func(c *mp.Comm) {
+		sum := c.AllReduceSum([]float64{float64(c.Rank())})
+		mu.Lock()
+		got = append(got, sum[0])
+		mu.Unlock()
+	})
+	sort.Float64s(got)
+	fmt.Println(got)
+	// Output:
+	// [6 6 6 6]
+}

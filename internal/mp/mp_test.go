@@ -1,0 +1,189 @@
+package mp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldSizes(t *testing.T) {
+	w := NewWorld(4)
+	var ran atomic.Int64
+	w.Run(func(c *Comm) {
+		if c.Size() != 4 {
+			t.Errorf("size %d", c.Size())
+		}
+		ran.Add(1)
+	})
+	if ran.Load() != 4 {
+		t.Fatalf("%d ranks ran", ran.Load())
+	}
+}
+
+func TestNewWorldBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			data, from := c.Recv(0, 7)
+			if from != 0 || len(data) != 3 || data[2] != 3 {
+				t.Errorf("got %v from %d", data, from)
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the receiver
+			c.Barrier()
+		} else {
+			c.Barrier()
+			data, _ := c.Recv(0, 0)
+			if data[0] != 42 {
+				t.Errorf("send aliased caller buffer: %v", data)
+			}
+		}
+	})
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			// Receive tag 2 first even though tag 1 arrived first.
+			d2, _ := c.Recv(0, 2)
+			d1, _ := c.Recv(0, 1)
+			if d2[0] != 2 || d1[0] != 1 {
+				t.Errorf("tag filtering broken: %v %v", d1, d2)
+			}
+		}
+	})
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				data, from := c.Recv(AnySource, AnyTag)
+				seen[from] = true
+				if data[0] != float64(from) {
+					t.Errorf("payload %v from %d", data, from)
+				}
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("sources %v", seen)
+			}
+		default:
+			c.Send(0, c.Rank()*10, []float64{float64(c.Rank())})
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(8)
+	var before, after atomic.Int64
+	w.Run(func(c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != 8 {
+			t.Error("barrier released before all arrived")
+		}
+		after.Add(1)
+		c.Barrier()
+		if after.Load() != 8 {
+			t.Error("second barrier released early")
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		var got []float64
+		if c.Rank() == 2 {
+			got = c.Broadcast(2, []float64{3.14, 2.71})
+		} else {
+			got = c.Broadcast(2, nil)
+		}
+		if len(got) != 2 || got[0] != 3.14 {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		buf := []float64{float64(c.Rank()), 1}
+		sum := c.AllReduceSum(buf)
+		if sum[0] != 15 || sum[1] != 6 { // 0+1+..+5, 6 ones
+			t.Errorf("rank %d sum %v", c.Rank(), sum)
+		}
+	})
+}
+
+// Consecutive collectives must not cross epochs even when ranks race.
+func TestConsecutiveCollectives(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for epoch := 0; epoch < 50; epoch++ {
+			v := float64(epoch*10 + 1)
+			sum := c.AllReduceSum([]float64{v})
+			if want := v * 4; math.Abs(sum[0]-want) > 1e-12 {
+				t.Errorf("epoch %d: sum %v want %v", epoch, sum[0], want)
+				return
+			}
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		out := c.Gather(1, []float64{float64(c.Rank() * 100)})
+		if c.Rank() != 1 {
+			if out != nil {
+				t.Errorf("non-root got %v", out)
+			}
+			return
+		}
+		for r := 0; r < 4; r++ {
+			if out[r][0] != float64(r*100) {
+				t.Errorf("gather[%d] = %v", r, out[r])
+			}
+		}
+	})
+}
+
+func TestSendBadRankPanics(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Send(5, 0, nil)
+	})
+}

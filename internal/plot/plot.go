@@ -1,0 +1,216 @@
+// Package plot renders simple line charts as standalone SVG documents,
+// using only the standard library — enough to turn the experiment tables
+// into the paper-style figures (time vs ranks, slowdown vs variability,
+// …) without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single-panel line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	series []Series
+}
+
+// AddSeries appends a line. X and Y must have equal, nonzero length; with
+// LogX/LogY the respective values must be positive.
+func (c *Chart) AddSeries(name string, x, y []float64) error {
+	if len(x) != len(y) || len(x) == 0 {
+		return fmt.Errorf("plot: series %q has %d x and %d y points", name, len(x), len(y))
+	}
+	for i := range x {
+		if c.LogX && x[i] <= 0 {
+			return fmt.Errorf("plot: series %q x[%d]=%v on a log axis", name, i, x[i])
+		}
+		if c.LogY && y[i] <= 0 {
+			return fmt.Errorf("plot: series %q y[%d]=%v on a log axis", name, i, y[i])
+		}
+	}
+	c.series = append(c.series, Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)})
+	return nil
+}
+
+// palette holds visually distinct stroke colors, cycled by series index.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#e377c2", "#17becf", "#7f7f7f",
+}
+
+const (
+	width   = 720
+	height  = 440
+	marginL = 70
+	marginR = 170
+	marginT = 45
+	marginB = 55
+)
+
+// WriteSVG renders the chart. It returns an error when no series were
+// added.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, c.tx(s.X[i])), math.Max(xmax, c.tx(s.X[i]))
+			ymin, ymax = math.Min(ymin, c.ty(s.Y[i])), math.Max(ymax, c.ty(s.Y[i]))
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// 5% padding on y.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (c.tx(x)-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(height-marginB) - (c.ty(y)-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), height-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), esc(c.YLabel))
+
+	// Ticks: use the union of x values (charts here have few points).
+	for _, xv := range c.xTicks() {
+		X := px(xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			X, height-marginB, X, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			X, height-marginB+18, fmtTick(xv))
+	}
+	for i := 0; i <= 4; i++ {
+		tv := ymin + (ymax-ymin)*float64(i)/4
+		yv := c.invTy(tv)
+		Y := float64(height-marginB) - (tv-ymin)/(ymax-ymin)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, Y, width-marginR, Y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, Y+3, fmtTick(yv))
+	}
+
+	// Series lines, points and legend.
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		ly := marginT + 14 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+10, ly-4, width-marginR+30, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-marginR+36, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) tx(x float64) float64 {
+	if c.LogX {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c *Chart) ty(y float64) float64 {
+	if c.LogY {
+		return math.Log10(y)
+	}
+	return y
+}
+
+func (c *Chart) invTy(t float64) float64 {
+	if c.LogY {
+		return math.Pow(10, t)
+	}
+	return t
+}
+
+// xTicks returns the distinct x values across all series, capped to a
+// readable count.
+func (c *Chart) xTicks() []float64 {
+	seen := map[float64]bool{}
+	var ticks []float64
+	for _, s := range c.series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				ticks = append(ticks, x)
+			}
+		}
+	}
+	sort.Float64s(ticks)
+	for len(ticks) > 10 {
+		// Thin out every other tick.
+		var kept []float64
+		for i, t := range ticks {
+			if i%2 == 0 {
+				kept = append(kept, t)
+			}
+		}
+		ticks = kept
+	}
+	return ticks
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e4 || av < 1e-2:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,120 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func validSVG(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, buf.String())
+		}
+	}
+	return buf.String()
+}
+
+func TestChartBasic(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "ranks", YLabel: "time (s)"}
+	if err := c.AddSeries("static", []float64{1, 2, 4}, []float64{10, 6, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("stealing", []float64{1, 2, 4}, []float64{10, 5, 2.6}); err != nil {
+		t.Fatal(err)
+	}
+	svg := validSVG(t, c)
+	for _, want := range []string{"demo", "static", "stealing", "polyline", "ranks", "time (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	c := &Chart{Title: "log", LogX: true, LogY: true}
+	if err := c.AddSeries("s", []float64{1, 10, 100}, []float64{1, 100, 10000}); err != nil {
+		t.Fatal(err)
+	}
+	svg := validSVG(t, c)
+	// Equal log spacing: the three points are evenly spread on x. Parse
+	// the circle positions.
+	var xs []string
+	for _, line := range strings.Split(svg, "\n") {
+		if strings.HasPrefix(line, "<circle") {
+			xs = append(xs, line)
+		}
+	}
+	if len(xs) != 3 {
+		t.Fatalf("%d circles", len(xs))
+	}
+}
+
+func TestChartRejectsBadSeries(t *testing.T) {
+	c := &Chart{}
+	if err := c.AddSeries("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.AddSeries("empty", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	lc := &Chart{LogY: true}
+	if err := lc.AddSeries("neg", []float64{1}, []float64{-1}); err == nil {
+		t.Error("negative value on log axis accepted")
+	}
+}
+
+func TestChartNoSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestChartEscapesTitles(t *testing.T) {
+	c := &Chart{Title: "a < b & c"}
+	if err := c.AddSeries("s<1>", []float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	svg := validSVG(t, c)
+	if strings.Contains(svg, "a < b & c") {
+		t.Error("unescaped title")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := &Chart{Title: "one"}
+	if err := c.AddSeries("s", []float64{5}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	validSVG(t, c) // degenerate ranges must not divide by zero
+}
+
+func TestManyTicksThinned(t *testing.T) {
+	c := &Chart{Title: "ticks"}
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	if err := c.AddSeries("s", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.xTicks()); got > 10 {
+		t.Fatalf("%d ticks", got)
+	}
+	validSVG(t, c)
+}

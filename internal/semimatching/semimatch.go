@@ -1,0 +1,166 @@
+package semimatching
+
+import "container/list"
+
+// SemiMatch computes an optimal semi-matching of the unweighted bipartite
+// graph b: every task is assigned to one adjacent machine and the load
+// vector is lexicographically minimal (hence also minimal in makespan and
+// in total flow time).
+//
+// The algorithm inserts tasks one at a time, assigning each via a BFS over
+// alternating paths to the least-loaded reachable machine (Harvey et al.'s
+// ASM2), then removes any remaining cost-reducing paths to guarantee
+// optimality irrespective of insertion order.
+func SemiMatch(b *Bipartite) *Assignment {
+	b.validate()
+	a := &Assignment{
+		Of:    make([]int, b.NLeft),
+		Loads: make([]float64, b.NRight),
+	}
+	for i := range a.Of {
+		a.Of[i] = -1
+	}
+	// assigned[r] = tasks currently on machine r.
+	assigned := make([][]int, b.NRight)
+
+	for u := 0; u < b.NLeft; u++ {
+		insertViaAlternatingBFS(b, a, assigned, u)
+	}
+	// Optimality clean-up: while some machine can shed a task to a machine
+	// with load at least 2 lower via an alternating path, flip that path.
+	for removeCostReducingPath(b, a, assigned) {
+	}
+	return a
+}
+
+// insertViaAlternatingBFS assigns the unmatched task u along an
+// alternating path ending at the least-loaded reachable machine.
+func insertViaAlternatingBFS(b *Bipartite, a *Assignment, assigned [][]int, u int) {
+	// parentTask[r]: the task whose edge discovered machine r;
+	// parentMachine[t]: the machine that released task t on the path.
+	parentTask := make(map[int]int)
+	visitedTask := make(map[int]bool)
+	queueTasks := list.New()
+	queueTasks.PushBack(u)
+	visitedTask[u] = true
+
+	best := -1
+	for queueTasks.Len() > 0 {
+		t := queueTasks.Remove(queueTasks.Front()).(int)
+		for _, r := range b.Adj[t] {
+			if _, seen := parentTask[r]; seen {
+				continue
+			}
+			parentTask[r] = t
+			if best == -1 || a.Loads[r] < a.Loads[best] {
+				best = r
+			}
+			// Machines can release any currently assigned task.
+			for _, t2 := range assigned[r] {
+				if !visitedTask[t2] {
+					visitedTask[t2] = true
+					queueTasks.PushBack(t2)
+				}
+			}
+		}
+	}
+	// Walk the alternating path backwards from best, re-assigning.
+	flipPathTo(b, a, assigned, parentTask, u, best)
+}
+
+// flipPathTo re-assigns tasks along the discovered alternating path so
+// that the path's origin task ends up matched and machine `dest` gains one
+// unit of load. parentTask maps each discovered machine to the task that
+// reached it; each such task either is the origin or was previously
+// assigned to another machine on the path.
+func flipPathTo(b *Bipartite, a *Assignment, assigned [][]int, parentTask map[int]int, origin, dest int) {
+	r := dest
+	for {
+		t := parentTask[r]
+		prev := a.Of[t] // machine t used to be on (-1 for the origin)
+		// Move t onto r.
+		if prev >= 0 {
+			removeFrom(assigned, prev, t)
+			a.Loads[prev]--
+		}
+		a.Of[t] = r
+		assigned[r] = append(assigned[r], t)
+		a.Loads[r]++
+		if t == origin {
+			return
+		}
+		r = prev
+	}
+}
+
+// removeCostReducingPath searches for an alternating path from any
+// machine with load ≥ L to a machine with load ≤ L-2 and flips it,
+// reducing the convex cost. Returns true if a flip happened.
+func removeCostReducingPath(b *Bipartite, a *Assignment, assigned [][]int) bool {
+	for src := 0; src < b.NRight; src++ {
+		if a.Loads[src] == 0 {
+			continue
+		}
+		// BFS from machine src over alternating structure.
+		parentTask := make(map[int]int)
+		visitedTask := make(map[int]bool)
+		visitedMachine := map[int]bool{src: true}
+		queue := list.New()
+		for _, t := range assigned[src] {
+			visitedTask[t] = true
+			queue.PushBack(t)
+		}
+		for queue.Len() > 0 {
+			t := queue.Remove(queue.Front()).(int)
+			for _, r := range b.Adj[t] {
+				if visitedMachine[r] {
+					continue
+				}
+				visitedMachine[r] = true
+				parentTask[r] = t
+				if a.Loads[r] <= a.Loads[src]-2 {
+					flipChain(a, assigned, parentTask, r)
+					return true
+				}
+				for _, t2 := range assigned[r] {
+					if !visitedTask[t2] {
+						visitedTask[t2] = true
+						queue.PushBack(t2)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// flipChain moves each task on the discovered chain one machine forward,
+// ending at dest; the chain starts at the overloaded source machine.
+func flipChain(a *Assignment, assigned [][]int, parentTask map[int]int, dest int) {
+	r := dest
+	for {
+		t := parentTask[r]
+		prev := a.Of[t]
+		removeFrom(assigned, prev, t)
+		a.Loads[prev]--
+		a.Of[t] = r
+		assigned[r] = append(assigned[r], t)
+		a.Loads[r]++
+		if _, ok := parentTask[prev]; !ok {
+			return // reached the source machine
+		}
+		r = prev
+	}
+}
+
+func removeFrom(assigned [][]int, r, t int) {
+	lst := assigned[r]
+	for i, v := range lst {
+		if v == t {
+			lst[i] = lst[len(lst)-1]
+			assigned[r] = lst[:len(lst)-1]
+			return
+		}
+	}
+	panic("semimatching: task not found on its machine")
+}

@@ -1,0 +1,286 @@
+package semimatching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteGraphShape(t *testing.T) {
+	b := Complete(6, 3)
+	if b.NLeft != 6 || b.NRight != 3 {
+		t.Fatalf("bad sizes")
+	}
+	for l := 0; l < 6; l++ {
+		if len(b.Adj[l]) != 3 {
+			t.Fatalf("task %d has %d edges", l, len(b.Adj[l]))
+		}
+	}
+}
+
+func TestAddEdgeDeduplicates(t *testing.T) {
+	b := NewBipartite(1, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	if len(b.Adj[0]) != 1 {
+		t.Fatalf("duplicate edge stored")
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	b := NewBipartite(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.AddEdge(0, 1)
+}
+
+func TestSemiMatchCompleteBalanced(t *testing.T) {
+	// 10 unit tasks on 3 machines: optimal loads are {4,3,3}.
+	a := SemiMatch(Complete(10, 3))
+	if a.Makespan() != 4 {
+		t.Fatalf("makespan = %v, want 4 (loads %v)", a.Makespan(), a.Loads)
+	}
+	var total float64
+	for _, l := range a.Loads {
+		total += l
+	}
+	if total != 10 {
+		t.Fatalf("loads sum to %v", total)
+	}
+}
+
+func TestSemiMatchEveryTaskAssignedToCandidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(40), 1+rng.Intn(8)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			deg := 1 + rng.Intn(nr)
+			perm := rng.Perm(nr)
+			for _, r := range perm[:deg] {
+				b.AddEdge(l, r)
+			}
+		}
+		a := SemiMatch(b)
+		loads := make([]float64, nr)
+		for l, r := range a.Of {
+			if !canRun(b, l, r) {
+				return false
+			}
+			loads[r]++
+		}
+		for r := range loads {
+			if loads[r] != a.Loads[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Optimality: no alternating improvement must remain, which for the
+// unweighted case is certified by comparing against exhaustive search on
+// small instances.
+func TestSemiMatchOptimalSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		nl, nr := 2+rng.Intn(6), 2+rng.Intn(3)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			deg := 1 + rng.Intn(nr)
+			perm := rng.Perm(nr)
+			for _, r := range perm[:deg] {
+				b.AddEdge(l, r)
+			}
+		}
+		got := SemiMatch(b)
+		want := bruteForceFlow(b)
+		if math.Abs(got.CostFlow()-want) > 1e-9 {
+			t.Fatalf("trial %d: flow cost %v, optimal %v (loads %v)",
+				trial, got.CostFlow(), want, got.Loads)
+		}
+	}
+}
+
+// bruteForceFlow exhaustively minimizes the total-flow objective.
+func bruteForceFlow(b *Bipartite) float64 {
+	best := math.Inf(1)
+	loads := make([]float64, b.NRight)
+	var rec func(l int)
+	rec = func(l int) {
+		if l == b.NLeft {
+			var c float64
+			for _, ld := range loads {
+				c += ld * (ld + 1) / 2
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for _, r := range b.Adj[l] {
+			loads[r]++
+			rec(l + 1)
+			loads[r]--
+		}
+	}
+	rec(0)
+	return best
+}
+
+// A star-shaped adversarial instance: greedy insertion order matters, the
+// clean-up pass must still reach the optimum.
+func TestSemiMatchStar(t *testing.T) {
+	// Tasks 0..3 can only use machine 0; tasks 4..7 can use 0 or 1;
+	// machine 2 only reachable from task 7.
+	b := NewBipartite(8, 3)
+	for l := 0; l < 4; l++ {
+		b.AddEdge(l, 0)
+	}
+	for l := 4; l < 8; l++ {
+		b.AddEdge(l, 0)
+		b.AddEdge(l, 1)
+	}
+	b.AddEdge(7, 2)
+	a := SemiMatch(b)
+	// Optimal: loads {4,3,1} → makespan 4 (tasks 0-3 pin machine 0).
+	if a.Makespan() != 4 {
+		t.Fatalf("makespan %v, loads %v", a.Makespan(), a.Loads)
+	}
+	if a.CostFlow() != bruteForceFlow(b) {
+		t.Fatalf("not optimal: %v vs %v", a.CostFlow(), bruteForceFlow(b))
+	}
+}
+
+func TestSemiMatchNoCandidatesPanics(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for isolated task")
+		}
+	}()
+	SemiMatch(b)
+}
+
+func TestLPTComplete(t *testing.T) {
+	// Weights 5,4,3,2,2 on 2 machines: LPT places 5|4, 3→(4), 2→(5), 2→(7)
+	// giving loads {9,7}; the optimum is {5,3}|{4,2,2} = 8. The swap
+	// refinement in WeightedSemiMatch must recover the optimum.
+	b := Complete(5, 2)
+	w := []float64{5, 4, 3, 2, 2}
+	a := LPT(b, w)
+	if a.Makespan() != 9 {
+		t.Fatalf("LPT makespan = %v, loads %v", a.Makespan(), a.Loads)
+	}
+	r := WeightedSemiMatch(b, w)
+	if r.Makespan() != 8 {
+		t.Fatalf("refined makespan = %v, loads %v, want 8", r.Makespan(), r.Loads)
+	}
+}
+
+func TestLPTWeightMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LPT(Complete(3, 2), []float64{1, 2})
+}
+
+func TestWeightedSemiMatchRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(30), 1+rng.Intn(6)
+		b := NewBipartite(nl, nr)
+		w := make([]float64, nl)
+		for l := 0; l < nl; l++ {
+			w[l] = rng.Float64()*9 + 1
+			deg := 1 + rng.Intn(nr)
+			perm := rng.Perm(nr)
+			for _, r := range perm[:deg] {
+				b.AddEdge(l, r)
+			}
+		}
+		a := WeightedSemiMatch(b, w)
+		loads := make([]float64, nr)
+		for l, r := range a.Of {
+			if !canRun(b, l, r) {
+				return false
+			}
+			loads[r] += w[l]
+		}
+		for r := range loads {
+			if math.Abs(loads[r]-a.Loads[r]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On complete graphs the refined result must always be at least as good
+// as plain LPT, and within the classical LPT bound of the trivial lower
+// bounds.
+func TestWeightedSemiMatchQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		nl, nr := 10+rng.Intn(90), 2+rng.Intn(6)
+		b := Complete(nl, nr)
+		w := make([]float64, nl)
+		var total, wmax float64
+		for i := range w {
+			w[i] = math.Exp(rng.NormFloat64() * 1.5) // heavy-tailed, like ERI tasks
+			total += w[i]
+			wmax = math.Max(wmax, w[i])
+		}
+		lpt := LPT(b, w)
+		ref := WeightedSemiMatch(b, w)
+		if ref.Makespan() > lpt.Makespan()+1e-9 {
+			t.Fatalf("refinement regressed: %v > %v", ref.Makespan(), lpt.Makespan())
+		}
+		lb := math.Max(total/float64(nr), wmax)
+		if ref.Makespan() > lb*4/3+wmax {
+			t.Fatalf("makespan %v too far above lower bound %v", ref.Makespan(), lb)
+		}
+	}
+}
+
+// Refinement must fix a case plain greedy-by-order would botch but LPT
+// plus moves handles: bottleneck machine sheds work over restricted edges.
+func TestWeightedSemiMatchMovesOffBottleneck(t *testing.T) {
+	// Machine 0 initially attracts everything; tasks 2 and 3 can migrate.
+	b := NewBipartite(4, 2)
+	w := []float64{6, 5, 4, 3}
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 1)
+	a := WeightedSemiMatch(b, w)
+	// Optimal: {6,5} on 0 and {4,3} on 1 → makespan 11.
+	if a.Makespan() > 11+1e-9 {
+		t.Fatalf("makespan %v, loads %v", a.Makespan(), a.Loads)
+	}
+}
+
+func TestAssignmentAggregates(t *testing.T) {
+	a := &Assignment{Of: []int{0, 0, 1}, Loads: []float64{2, 1}}
+	if a.Makespan() != 2 {
+		t.Fatal("Makespan")
+	}
+	if a.CostFlow() != 3+1 {
+		t.Fatalf("CostFlow = %v", a.CostFlow())
+	}
+}

@@ -1,0 +1,142 @@
+package semimatching
+
+// LPT computes the greedy longest-processing-time assignment: tasks in
+// descending weight order, each to its least-loaded candidate machine.
+// It is the classical baseline the weighted semi-matching refines.
+func LPT(b *Bipartite, w []float64) *Assignment {
+	b.validate()
+	if len(w) != b.NLeft {
+		panic("semimatching: weight vector length mismatch")
+	}
+	a := &Assignment{
+		Of:    make([]int, b.NLeft),
+		Loads: make([]float64, b.NRight),
+	}
+	for _, t := range byDescWeight(w) {
+		best := b.Adj[t][0]
+		for _, r := range b.Adj[t][1:] {
+			if a.Loads[r] < a.Loads[best] {
+				best = r
+			}
+		}
+		a.Of[t] = best
+		a.Loads[best] += w[t]
+	}
+	return a
+}
+
+// WeightedSemiMatch assigns weighted tasks to machines, starting from LPT
+// and then applying alternating-path-style refinement: single-task moves
+// and pairwise swaps that reduce the maximum involved machine load,
+// iterated to a local optimum. Weighted makespan minimization is NP-hard,
+// so this is a heuristic — but a cheap one, which is exactly the paper's
+// point when comparing it against hypergraph partitioning.
+func WeightedSemiMatch(b *Bipartite, w []float64) *Assignment {
+	a := LPT(b, w)
+	byMachine := make([][]int, b.NRight)
+	for t, r := range a.Of {
+		byMachine[r] = append(byMachine[r], t)
+	}
+
+	const maxRounds = 60
+	for round := 0; round < maxRounds; round++ {
+		if !improveOnce(b, w, a, byMachine) {
+			break
+		}
+	}
+	return a
+}
+
+// improveOnce scans for the best single move or swap that strictly
+// reduces max(load_src, load_dst) without raising it elsewhere, applying
+// the first strict improvement found from the most-loaded machine.
+// Returns true if a change was made.
+func improveOnce(b *Bipartite, w []float64, a *Assignment, byMachine [][]int) bool {
+	src := argmax(a.Loads)
+	// Try single moves off the bottleneck machine.
+	type move struct {
+		t, dst int
+		gain   float64
+	}
+	var best move
+	for _, t := range byMachine[src] {
+		for _, dst := range b.Adj[t] {
+			if dst == src {
+				continue
+			}
+			// New max of the two machines after moving t.
+			newMax := maxf(a.Loads[src]-w[t], a.Loads[dst]+w[t])
+			oldMax := maxf(a.Loads[src], a.Loads[dst])
+			if g := oldMax - newMax; g > best.gain+1e-15 {
+				best = move{t: t, dst: dst, gain: g}
+			}
+		}
+	}
+	if best.gain > 0 {
+		applyMove(w, a, byMachine, best.t, src, best.dst)
+		return true
+	}
+	// Try swaps: exchange a heavy task on src with a lighter one elsewhere.
+	for _, t1 := range byMachine[src] {
+		for _, dst := range b.Adj[t1] {
+			if dst == src {
+				continue
+			}
+			for _, t2 := range byMachine[dst] {
+				if w[t2] >= w[t1] || !canRun(b, t2, src) {
+					continue
+				}
+				delta := w[t1] - w[t2]
+				newMax := maxf(a.Loads[src]-delta, a.Loads[dst]+delta)
+				if newMax < maxf(a.Loads[src], a.Loads[dst])-1e-15 {
+					applyMove(w, a, byMachine, t1, src, dst)
+					applyMove(w, a, byMachine, t2, dst, src)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func applyMove(w []float64, a *Assignment, byMachine [][]int, t, from, to int) {
+	lst := byMachine[from]
+	for i, v := range lst {
+		if v == t {
+			lst[i] = lst[len(lst)-1]
+			byMachine[from] = lst[:len(lst)-1]
+			break
+		}
+	}
+	byMachine[to] = append(byMachine[to], t)
+	a.Of[t] = to
+	a.Loads[from] -= w[t]
+	a.Loads[to] += w[t]
+}
+
+func canRun(b *Bipartite, t, r int) bool {
+	for _, m := range b.Adj[t] {
+		if m == r {
+			return true
+		}
+	}
+	return false
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	_ = xs[best]
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

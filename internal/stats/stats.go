@@ -1,0 +1,214 @@
+// Package stats provides the summary statistics, histograms and
+// load-balance metrics used to report the experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P50, P90, P99    float64
+	MaxOverMean      float64 // load-imbalance style ratio
+	CoefficientOfVar float64 // Std/Mean
+	Gini             float64 // inequality of the sample
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	s.P50 = Percentile(xs, 50)
+	s.P90 = Percentile(xs, 90)
+	s.P99 = Percentile(xs, 99)
+	if s.Mean != 0 {
+		s.MaxOverMean = s.Max / s.Mean
+		s.CoefficientOfVar = s.Std / s.Mean
+	}
+	s.Gini = Gini(xs)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Gini returns the Gini coefficient of the (non-negative) sample: 0 for
+// perfectly equal values, → 1 for extreme inequality.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - (float64(n)+1)/float64(n)
+}
+
+// LoadImbalance returns max/mean of the per-rank values (the paper's
+// standard λ metric); 1.0 means perfectly balanced.
+func LoadImbalance(perRank []float64) float64 {
+	if len(perRank) == 0 {
+		panic("stats: empty sample")
+	}
+	var sum, mx float64
+	for _, x := range perRank {
+		sum += x
+		if x > mx {
+			mx = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return mx / (sum / float64(len(perRank)))
+}
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram builds nb log-spaced buckets over xs (all values must be
+// positive). Log spacing matches the heavy-tailed task-cost distributions
+// under study.
+func Histogram(xs []float64, nb int) []Bucket {
+	if len(xs) == 0 || nb < 1 {
+		panic("stats: bad histogram input")
+	}
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: Histogram needs positive values, got %v", x))
+		}
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	if mn == mx {
+		return []Bucket{{Lo: mn, Hi: mx, Count: len(xs)}}
+	}
+	lmn, lmx := math.Log(mn), math.Log(mx)
+	buckets := make([]Bucket, nb)
+	for i := range buckets {
+		buckets[i].Lo = math.Exp(lmn + (lmx-lmn)*float64(i)/float64(nb))
+		buckets[i].Hi = math.Exp(lmn + (lmx-lmn)*float64(i+1)/float64(nb))
+	}
+	for _, x := range xs {
+		idx := int(float64(nb) * (math.Log(x) - lmn) / (lmx - lmn))
+		if idx >= nb {
+			idx = nb - 1
+		}
+		buckets[idx].Count++
+	}
+	return buckets
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of the
+// per-rank values: 1.0 for perfectly even, 1/n when one rank has
+// everything. A complement to the max/mean imbalance metric that weighs
+// the whole distribution rather than just the maximum.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Utilization buckets the trace-like busy intervals into nb equal time
+// windows over [0, end] and returns the fraction of rank-time spent busy
+// in each window — the utilization timeline of a run.
+func Utilization(busyStart, busyEnd []float64, ranks int, end float64, nb int) []float64 {
+	if len(busyStart) != len(busyEnd) {
+		panic("stats: interval slice mismatch")
+	}
+	if nb < 1 || end <= 0 || ranks < 1 {
+		panic("stats: bad utilization parameters")
+	}
+	out := make([]float64, nb)
+	width := end / float64(nb)
+	for i := range busyStart {
+		s, e := busyStart[i], busyEnd[i]
+		if e > end {
+			e = end
+		}
+		for b := int(s / width); b < nb && float64(b)*width < e; b++ {
+			lo := math.Max(s, float64(b)*width)
+			hi := math.Min(e, float64(b+1)*width)
+			if hi > lo {
+				out[b] += hi - lo
+			}
+		}
+	}
+	capacity := width * float64(ranks)
+	for b := range out {
+		out[b] /= capacity
+	}
+	return out
+}
+
+// Speedup returns t1/tp for each entry of tp.
+func Speedup(t1 float64, tp []float64) []float64 {
+	out := make([]float64, len(tp))
+	for i, t := range tp {
+		if t > 0 {
+			out[i] = t1 / t
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if s.MaxOverMean != 1.6 {
+		t.Fatalf("MaxOverMean = %v", s.MaxOverMean)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("P25 = %v", p)
+	}
+	if p := Percentile([]float64{1, 2}, 50); p != 1.5 {
+		t.Fatalf("interpolated P50 = %v", p)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal sample Gini = %v", g)
+	}
+	// One has everything (n=4): Gini = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 8}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("zero-total Gini = %v", g)
+	}
+}
+
+func TestGiniInvariantToScale(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 2+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		g1 := Gini(xs)
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 7.5
+		}
+		return math.Abs(g1-Gini(scaled)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	if li := LoadImbalance([]float64{2, 2, 2}); li != 1 {
+		t.Fatalf("balanced = %v", li)
+	}
+	if li := LoadImbalance([]float64{4, 1, 1}); li != 2 {
+		t.Fatalf("imbalanced = %v", li)
+	}
+	if li := LoadImbalance([]float64{0, 0}); li != 0 {
+		t.Fatalf("all-zero = %v", li)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	h := Histogram(xs, 3)
+	if len(h) != 3 {
+		t.Fatalf("%d buckets", len(h))
+	}
+	var total int
+	for _, b := range h {
+		total += b.Count
+		if b.Hi < b.Lo {
+			t.Fatalf("inverted bucket %+v", b)
+		}
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := Histogram([]float64{5, 5, 5}, 4)
+	if len(h) != 1 || h[0].Count != 3 {
+		t.Fatalf("%+v", h)
+	}
+}
+
+func TestHistogramRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Histogram([]float64{1, -1}, 2)
+}
+
+func TestHistogramCoversAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(200))
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64() * 2)
+		}
+		nb := 1 + rng.Intn(20)
+		var total int
+		for _, b := range Histogram(xs, nb) {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if j := JainFairness([]float64{2, 2, 2, 2}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("even = %v", j)
+	}
+	if j := JainFairness([]float64{8, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("concentrated = %v, want 1/n", j)
+	}
+	if j := JainFairness([]float64{0, 0}); j != 1 {
+		t.Fatalf("all-zero = %v", j)
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		j := JainFairness(xs)
+		return j >= 1/float64(len(xs))-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// Two ranks, horizon 10, 2 buckets. Rank A busy 0-10, rank B busy 0-5.
+	starts := []float64{0, 0}
+	ends := []float64{10, 5}
+	u := Utilization(starts, ends, 2, 10, 2)
+	if math.Abs(u[0]-1.0) > 1e-12 {
+		t.Fatalf("first half utilization %v, want 1.0", u[0])
+	}
+	if math.Abs(u[1]-0.5) > 1e-12 {
+		t.Fatalf("second half utilization %v, want 0.5", u[1])
+	}
+}
+
+func TestUtilizationClipsToHorizon(t *testing.T) {
+	u := Utilization([]float64{0}, []float64{20}, 1, 10, 5)
+	for b, v := range u {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("bucket %d = %v", b, v)
+		}
+	}
+}
+
+func TestUtilizationBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Utilization([]float64{0}, []float64{1}, 1, 0, 2)
+}
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup(10, []float64{10, 5, 2.5, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Speedup = %v", s)
+		}
+	}
+}
