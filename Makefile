@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover experiments figures clean
+.PHONY: all build test race lint bench cover experiments figures clean
 
-all: build test
+all: build test lint
 
 build:
 	go build ./...
@@ -12,7 +12,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/ga/ ./internal/deque/ ./internal/mp/ ./internal/core/
+	go test -race ./...
+
+# Repo-specific static analysis: determinism, guardedby, lockbalance,
+# floateq (see internal/lint and cmd/execlint).
+lint:
+	go run ./cmd/execlint ./...
 
 bench:
 	go test -bench=. -benchmem ./...

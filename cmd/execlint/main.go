@@ -1,0 +1,126 @@
+// Command execlint runs the repository's static-analysis suite: the
+// determinism, guardedby, lockbalance and floateq checks that keep the
+// execution-model comparison reproducible and its concurrency honest
+// (see internal/lint).
+//
+// Usage:
+//
+//	execlint [-json] [-checks determinism,guardedby,...] [packages]
+//
+// Package patterns are directories relative to the working directory,
+// with "./..." expanding recursively (default). Exit status is 0 when no
+// findings survive suppression, 1 when findings are reported, 2 on usage
+// or load errors.
+//
+// Per-line suppression, reason mandatory:
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"execmodels/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("execlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *checks != "" {
+		byName := map[string]lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "execlint: unknown check %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "execlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "execlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "execlint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "execlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "execlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"execmodels/internal/cluster"
 	"execmodels/internal/hypergraph"
 	"execmodels/internal/semimatching"
@@ -27,14 +25,14 @@ func (SemiMatchingLB) Name() string { return "semi-matching" }
 
 // Run implements Model.
 func (s SemiMatchingLB) Run(w *Workload, m *cluster.Machine) *Result {
-	start := time.Now()
+	sw := startStopwatch()
 	b := s.buildGraph(w, m.P)
 	est := make([]float64, len(w.Tasks))
 	for i, t := range w.Tasks {
 		est[i] = t.EstCost
 	}
 	assign := semimatching.WeightedSemiMatch(b, est)
-	cost := time.Since(start).Seconds()
+	cost := sw.seconds()
 	return runAssignment(s.Name(), w, m, assign.Of, cost)
 }
 
@@ -95,14 +93,14 @@ func (h HypergraphLB) Name() string {
 
 // Run implements Model.
 func (hl HypergraphLB) Run(w *Workload, m *cluster.Machine) *Result {
-	start := time.Now()
+	sw := startStopwatch()
 	h := BuildHypergraph(w)
 	res := hypergraph.Partition(h, m.P, hypergraph.Options{
 		Eps:  hl.Eps,
 		Seed: hl.Seed,
 		Flat: hl.Flat,
 	})
-	cost := time.Since(start).Seconds()
+	cost := sw.seconds()
 	return runAssignment(hl.Name(), w, m, res.Part, cost)
 }
 

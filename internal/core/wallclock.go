@@ -51,7 +51,7 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 	kArr := ga.NewArray(n, n, workers)
 	busy := make([]time.Duration, workers)
 
-	start := time.Now()
+	sw := startStopwatch()
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
@@ -64,16 +64,16 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 				if !ok {
 					break
 				}
-				t0 := time.Now()
+				t0 := startStopwatch()
 				fw.ExecuteTask(&fw.Tasks[id], d, jLoc, kLoc)
-				busy[wk] += time.Since(t0)
+				busy[wk] += t0.elapsed()
 			}
 			jArr.Acc(0, 0, n, n, jLoc.Data, 1)
 			kArr.Acc(0, 0, n, n, kLoc.Data, 1)
 		}(wk)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := sw.elapsed()
 
 	f := h.Clone()
 	f.AddScaled(1, jArr.ToMatrix())

@@ -18,8 +18,8 @@ import "sync"
 // concurrent use. The zero value is an empty, usable deque.
 type Deque struct {
 	mu    sync.Mutex
-	items []int
-	head  int // index of the oldest (top) item; items[:head] are consumed
+	items []int // guarded by mu
+	head  int   // guarded by mu; index of the oldest (top) item; items[:head] are consumed
 }
 
 // Push adds a task at the bottom (owner side).

@@ -31,7 +31,7 @@ type segment struct {
 	mu   sync.Mutex
 	r0   int // first row (inclusive)
 	r1   int // last row (exclusive)
-	data []float64
+	data []float64 // guarded by mu
 }
 
 // NewArray creates a zeroed rows×cols array distributed over p owners.

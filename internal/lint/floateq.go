@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags ==/!= between floating-point expressions in the numeric
+// kernels. Two independently computed energies (or matrix elements) agree
+// only up to rounding, so exact comparison either works by accident or
+// introduces convergence bugs that move with the optimization level.
+//
+// Comparison against a compile-time constant is exempt: `if conv == 0`
+// (zero value as "unset" sentinel) and `if beta != 1` (skip-scaling fast
+// path) compare against a value that was *assigned* verbatim, which is
+// exact by IEEE-754 — and both idioms are load-bearing in this codebase.
+// What the check forbids is comparing two computed values.
+type FloatEq struct {
+	// Packages are import-path suffixes the check applies to.
+	Packages []string
+}
+
+// NewFloatEq returns the analyzer scoped to the numeric kernels.
+func NewFloatEq() *FloatEq {
+	return &FloatEq{Packages: []string{"internal/chem", "internal/linalg"}}
+}
+
+// Name implements Analyzer.
+func (*FloatEq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (*FloatEq) Doc() string {
+	return "==/!= between computed floating-point values; compare with a tolerance"
+}
+
+// AppliesTo implements Analyzer.
+func (f *FloatEq) AppliesTo(pkgPath string) bool {
+	for _, suffix := range f.Packages {
+		if hasSuffixPath(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (f *FloatEq) Run(pkg *Package) []Finding {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, xok := pkg.Info.Types[be.X]
+			y, yok := pkg.Info.Types[be.Y]
+			if !xok || !yok {
+				return true // type resolution failed; stay silent
+			}
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			if x.Value != nil || y.Value != nil {
+				return true // constant sentinel comparison, exact by construction
+			}
+			out = append(out, Finding{
+				Pos:     pkg.Fset.Position(be.OpPos),
+				Check:   f.Name(),
+				Message: "floating-point equality between computed values; compare with a tolerance (math.Abs(a-b) <= eps)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy turns the informal "// guarded by mu" field comments that
+// concurrency code accumulates into a checked contract: a method of the
+// annotated struct that reads or writes such a field must lock (or
+// read-lock) the named mutex somewhere in its body.
+//
+// The analysis is deliberately flow-insensitive — it catches methods that
+// *never* acquire the guard, which is the bug class that survives code
+// review (a method added later that forgets the lock entirely). Two
+// escape hatches cover the legitimate lock-free cases:
+//
+//   - methods whose name ends in "Locked", and
+//   - methods whose doc comment says "called with <mu> held" (any phrase
+//     containing "called with" and "held"),
+//
+// are treated as executing with the guard already held by the caller.
+type GuardedBy struct{}
+
+// NewGuardedBy returns the analyzer.
+func NewGuardedBy() *GuardedBy { return &GuardedBy{} }
+
+// Name implements Analyzer.
+func (*GuardedBy) Name() string { return "guardedby" }
+
+// Doc implements Analyzer.
+func (*GuardedBy) Doc() string {
+	return "fields annotated '// guarded by <mutex>' must only be accessed under that mutex"
+}
+
+// AppliesTo implements Analyzer: annotations are opt-in, so the check is
+// cheap to run everywhere.
+func (*GuardedBy) AppliesTo(string) bool { return true }
+
+var (
+	guardedByRe   = regexp.MustCompile(`(?i)\bguarded\s+by\s+([A-Za-z_][A-Za-z0-9_]*)`)
+	callerHoldsRe = regexp.MustCompile(`(?i)\bcalled\s+with\b.*\bheld\b`)
+)
+
+// structGuards records, for one struct type, field name → guard field
+// name.
+type structGuards map[string]string
+
+// Run implements Analyzer.
+func (g *GuardedBy) Run(pkg *Package) []Finding {
+	var out []Finding
+
+	// Pass 1: collect annotations per struct type and validate that every
+	// named guard is itself a field of the struct.
+	guards := map[string]structGuards{} // type name → guards
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldSet := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldSet[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				guard, ok := fieldAnnotation(f)
+				if !ok {
+					continue
+				}
+				if !fieldSet[guard] {
+					out = append(out, Finding{
+						Pos:     pkg.Fset.Position(f.Pos()),
+						Check:   g.Name(),
+						Message: fmt.Sprintf("guard %q named in annotation is not a field of %s", guard, ts.Name.Name),
+					})
+					continue
+				}
+				sg := guards[ts.Name.Name]
+				if sg == nil {
+					sg = structGuards{}
+					guards[ts.Name.Name] = sg
+				}
+				for _, name := range f.Names {
+					sg[name.Name] = guard
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return out
+	}
+
+	// Pass 2: check every method of an annotated struct.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			typeName := receiverTypeName(fd.Recv.List[0].Type)
+			sg, ok := guards[typeName]
+			if !ok {
+				continue
+			}
+			if lockHeldByConvention(fd) {
+				continue
+			}
+			recvObj, recvName := receiverIdent(pkg, fd.Recv.List[0])
+			if recvName == "" {
+				continue // unnamed receiver cannot touch fields
+			}
+			locked := lockedGuards(pkg, fd.Body, recvObj, recvName)
+			reported := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if !isReceiver(pkg, sel.X, recvObj, recvName) {
+					return true
+				}
+				field := sel.Sel.Name
+				guard, ok := sg[field]
+				if !ok || locked[guard] {
+					return true
+				}
+				key := fmt.Sprintf("%s.%s", fd.Name.Name, field)
+				if reported[key] {
+					return true
+				}
+				reported[key] = true
+				out = append(out, Finding{
+					Pos:     pkg.Fset.Position(sel.Pos()),
+					Check:   g.Name(),
+					Message: fmt.Sprintf("%s.%s accesses %s (guarded by %s) without locking %s", typeName, fd.Name.Name, field, guard, guard),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// fieldAnnotation extracts the guard name from a field's line comment or
+// doc comment.
+func fieldAnnotation(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Comment, f.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// lockHeldByConvention reports whether the method declares (by name or
+// doc) that its caller already holds the guard.
+func lockHeldByConvention(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked" {
+		return true
+	}
+	return fd.Doc != nil && callerHoldsRe.MatchString(fd.Doc.Text())
+}
+
+// receiverIdent returns the receiver's object (when type info resolved)
+// and name.
+func receiverIdent(pkg *Package, recv *ast.Field) (types.Object, string) {
+	if len(recv.Names) == 0 {
+		return nil, ""
+	}
+	id := recv.Names[0]
+	if id.Name == "_" {
+		return nil, ""
+	}
+	if pkg.Info != nil {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj, id.Name
+		}
+	}
+	return nil, id.Name
+}
+
+// isReceiver reports whether expr is the method receiver, by object
+// identity when types resolved, by name otherwise.
+func isReceiver(pkg *Package, expr ast.Expr, recvObj types.Object, recvName string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if recvObj != nil && pkg.Info != nil {
+		return pkg.Info.Uses[id] == recvObj
+	}
+	return id.Name == recvName
+}
+
+// lockedGuards returns the set of guard fields the body locks via
+// recv.<guard>.Lock / RLock calls (including deferred ones).
+func lockedGuards(pkg *Package, body *ast.BlockStmt, recvObj types.Object, recvName string) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || !isReceiver(pkg, inner.X, recvObj, recvName) {
+			return true
+		}
+		locked[inner.Sel.Name] = true
+		return true
+	})
+	return locked
+}
+
+// receiverTypeName unwraps *T / T receiver expressions to the type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+}
+
+// ignoreIndex maps file → line → directives active for that line.
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore(\s+(\S+))?(\s+(\S.*))?$`)
+
+// collectIgnores scans every comment in the package for //lint:ignore
+// directives. Malformed directives (missing check name or missing reason)
+// are returned as findings themselves: a suppression without a written
+// justification is exactly the silent exception this suite exists to
+// prevent.
+func collectIgnores(pkg *Package) (ignoreIndex, []Finding) {
+	idx := ignoreIndex{}
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil || m[2] == "" || strings.TrimSpace(m[4]) == "" {
+					malformed = append(malformed, Finding{
+						Pos:     pos,
+						Check:   "ignore",
+						Message: "malformed directive: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]ignoreDirective{}
+					idx[pos.Filename] = byLine
+				}
+				d := ignoreDirective{check: m[2], reason: strings.TrimSpace(m[4])}
+				// A directive suppresses matching findings on its own line
+				// (end-of-line comment) and on the line below (comment
+				// above the statement).
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// suppresses reports whether a directive covers the finding.
+func (idx ignoreIndex) suppresses(f Finding) bool {
+	for _, d := range idx[f.Pos.Filename][f.Pos.Line] {
+		if d.check == f.Check {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+// Package lint implements execlint, the repository's static-analysis
+// suite. It enforces the invariants the execution-model comparison relies
+// on but which ordinary tests cannot see:
+//
+//   - determinism: the simulation packages must not consult the global
+//     math/rand source or the wall clock — every schedule must be
+//     reproducible from a seed (the paper's model comparisons are
+//     meaningless if a work-stealing run cannot be replayed).
+//   - guardedby: struct fields annotated "// guarded by <mutex>" must only
+//     be touched by methods that actually lock that mutex.
+//   - lockbalance: a method that calls mu.Lock() without defer yet has
+//     multiple return paths is one early return away from a deadlock.
+//   - floateq: energies and matrix elements in the chemistry and linear
+//     algebra kernels must be compared with tolerances, never ==/!=.
+//
+// Everything is built on the standard library only (go/ast, go/parser,
+// go/token, go/types); the module stays dependency-free.
+//
+// False positives are suppressed per line with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line above. The reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos     token.Position
+	Check   string // analyzer name, e.g. "determinism"
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// An Analyzer is one named check over a loaded package.
+type Analyzer interface {
+	// Name is the short identifier used in reports and //lint:ignore
+	// directives.
+	Name() string
+	// Doc is a one-line description of what the check enforces.
+	Doc() string
+	// AppliesTo reports whether the analyzer should run on the package
+	// with the given import path. Fixture tests bypass this and call Run
+	// directly.
+	AppliesTo(pkgPath string) bool
+	// Run analyzes one package and returns its findings.
+	Run(pkg *Package) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		NewDeterminism(),
+		NewGuardedBy(),
+		NewLockBalance(),
+		NewFloatEq(),
+	}
+}
+
+// Run applies the given analyzers to the given packages, honoring
+// AppliesTo and //lint:ignore suppressions, and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores, malformed := collectIgnores(pkg)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			for _, f := range a.Run(pkg) {
+				if ignores.suppresses(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// hasSuffixPath reports whether pkgPath equals suffix or ends with
+// "/"+suffix — the matching rule analyzers use to scope themselves to
+// repository packages regardless of the module prefix.
+func hasSuffixPath(pkgPath, suffix string) bool {
+	if pkgPath == suffix {
+		return true
+	}
+	n := len(pkgPath) - len(suffix)
+	return n > 0 && pkgPath[n-1] == '/' && pkgPath[n:] == suffix
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// LockBalance flags functions that acquire a mutex without defer while
+// having more than one return path. Such code is correct only until the
+// next early return is added above the Unlock — at which point a worker
+// goroutine parks forever and a work-stealing run deadlocks with no
+// stack trace pointing at the cause. One straight-line return path is
+// allowed (Lock/Unlock bracketing with no branches is fine and is the
+// deque fast-path idiom); anything branchier must use defer.
+type LockBalance struct{}
+
+// NewLockBalance returns the analyzer.
+func NewLockBalance() *LockBalance { return &LockBalance{} }
+
+// Name implements Analyzer.
+func (*LockBalance) Name() string { return "lockbalance" }
+
+// Doc implements Analyzer.
+func (*LockBalance) Doc() string {
+	return "Lock() without defer Unlock() in a function with multiple return paths"
+}
+
+// AppliesTo implements Analyzer: the idiom is universal, run everywhere.
+func (*LockBalance) AppliesTo(string) bool { return true }
+
+// lockKind distinguishes the write and read lock pairs.
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// Run implements Analyzer.
+func (lb *LockBalance) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, lb.checkBody(pkg, fn.Name.Name, fn.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, lb.checkBody(pkg, "func literal", fn.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkBody analyzes one function body, excluding nested function
+// literals (each is its own scope with its own return paths and is
+// visited separately by Run).
+func (lb *LockBalance) checkBody(pkg *Package, name string, body *ast.BlockStmt) []Finding {
+	type lockSite struct {
+		pos  ast.Node
+		kind string // "Lock" or "RLock"
+	}
+	locks := map[string][]lockSite{} // flattened receiver path → sites
+	deferred := map[string]bool{}    // path + "." + unlock kind
+	returns := 0
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.ReturnStmt:
+			returns++
+		case *ast.DeferStmt:
+			if path, kind, ok := mutexCall(n.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				deferred[path+"."+kind] = true
+			}
+			// An unlock wrapped in a deferred closure still counts as
+			// deferred; the closure's other contents are its own scope and
+			// are visited separately by Run.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						if p, k, ok := mutexCall(c); ok && (k == "Unlock" || k == "RUnlock") {
+							deferred[p+"."+k] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if path, kind, ok := mutexCall(n); ok {
+				if _, isLock := lockPairs[kind]; isLock {
+					locks[path] = append(locks[path], lockSite{pos: n, kind: kind})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	var out []Finding
+	for path, sites := range locks {
+		for _, site := range sites {
+			if deferred[path+"."+lockPairs[site.kind]] {
+				continue
+			}
+			if returns < 2 {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:   pkg.Fset.Position(site.pos.Pos()),
+				Check: lb.Name(),
+				Message: fmt.Sprintf("%s: %s.%s() without defer %s.%s() but %d return paths; use defer or restructure",
+					name, path, site.kind, path, lockPairs[site.kind], returns),
+			})
+		}
+	}
+	return out
+}
+
+// mutexCall matches calls of the shape <expr>.Lock/Unlock/RLock/RUnlock()
+// and returns the flattened receiver path (e.g. "d.mu") plus the method
+// name. Receivers that cannot be flattened to a dotted identifier path
+// (map index, function result) are skipped — pairing them syntactically
+// would guess.
+func mutexCall(call *ast.CallExpr) (path, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	kind = sel.Sel.Name
+	switch kind {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	path, ok = flattenPath(sel.X)
+	return path, kind, ok
+}
+
+// flattenPath renders nested ident selectors as "a.b.c".
+func flattenPath(expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := flattenPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return flattenPath(e.X)
+	}
+	return "", false
+}

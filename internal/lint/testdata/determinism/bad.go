@@ -1,0 +1,25 @@
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// schedule is seeded-bad code: every call draws from the process-global
+// RNG and the host clock, so no run can be replayed.
+func schedule(n int) []int {
+	p := rand.Perm(n) // want `global rand\.Perm`
+	if rand.Float64() < 0.5 { // want `global rand\.Float64`
+		p[0] = rand.Intn(n) // want `global rand\.Intn`
+	}
+	rand.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] }) // want `global rand\.Shuffle`
+	return p
+}
+
+func tick() int64 {
+	return time.Now().UnixNano() // want `bare time\.Now`
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `bare time\.Since`
+}

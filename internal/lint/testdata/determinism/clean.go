@@ -1,0 +1,31 @@
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded plumbs an explicit *rand.Rand: reproducible, not flagged.
+func seeded(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := rng.Perm(n)
+	if rng.Float64() < 0.5 {
+		out[0] = rng.Intn(n)
+	}
+	return out
+}
+
+// startStopwatch matches the allowlist: sanctioned timing wrapper.
+func startStopwatch() time.Time { return time.Now() }
+
+// elapsed matches the allowlist too.
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// uses consumes the helpers so the fixture type-checks without unused
+// diagnostics from vet-style tooling.
+func uses() {
+	_ = seeded(1, 4)
+	_ = elapsed(startStopwatch())
+	_ = schedule(3)
+	_ = tick()
+}

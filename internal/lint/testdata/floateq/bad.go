@@ -1,0 +1,24 @@
+package floateq
+
+import "math"
+
+// converged compares two computed energies exactly: agreement up to
+// rounding only happens by accident.
+func converged(e1, e2 float64) bool {
+	return e1 == e2 // want `floating-point equality between computed values`
+}
+
+func mismatch(x, y float64) bool {
+	return math.Sqrt(x) != y // want `floating-point equality between computed values`
+}
+
+func viaVar(a []float64, i int) bool {
+	s := a[i] * 2
+	return s == a[0] // want `floating-point equality between computed values`
+}
+
+func use() {
+	_ = converged(1, 2)
+	_ = mismatch(4, 2)
+	_ = viaVar([]float64{1, 2}, 1)
+}

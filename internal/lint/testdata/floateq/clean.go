@@ -1,0 +1,29 @@
+package floateq
+
+import "math"
+
+const eps = 1e-12
+
+// sentinel compares against the constant zero value ("option unset"):
+// exact by IEEE-754, idiomatic, allowed.
+func sentinel(conv float64) bool { return conv == 0 }
+
+// skipScale is the BLAS beta != 1 fast path: also a constant comparison.
+func skipScale(beta float64) bool { return beta != 1 }
+
+// namedConst compares against a declared constant.
+func namedConst(x float64) bool { return x == eps }
+
+// tolerance is the sanctioned way to compare computed values.
+func tolerance(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// ints are exact; integer equality is out of scope.
+func ints(a, b int) bool { return a == b }
+
+func useClean() {
+	_ = sentinel(0)
+	_ = skipScale(1)
+	_ = namedConst(eps)
+	_ = tolerance(1, 1)
+	_ = ints(1, 2)
+}

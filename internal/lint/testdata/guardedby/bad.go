@@ -1,0 +1,31 @@
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	hits int // guarded by mu
+}
+
+// Bad reads n without ever touching the mutex.
+func (c *counter) Bad() int {
+	return c.n // want `counter\.Bad accesses n \(guarded by mu\) without locking mu`
+}
+
+// WriteBoth locks nothing and touches both guarded fields.
+func (c *counter) WriteBoth() {
+	c.n++    // want `counter\.WriteBoth accesses n`
+	c.hits++ // want `counter\.WriteBoth accesses hits`
+}
+
+type orphan struct {
+	x int // guarded by lock; want `guard "lock" named in annotation is not a field of orphan`
+}
+
+func use() {
+	var c counter
+	c.WriteBoth()
+	_ = c.Bad()
+	_ = orphan{}
+}

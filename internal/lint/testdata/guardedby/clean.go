@@ -1,0 +1,36 @@
+package guardedby
+
+import "sync"
+
+type gauge struct {
+	mu  sync.RWMutex
+	val float64 // guarded by mu
+}
+
+// Set locks the guard: clean.
+func (g *gauge) Set(v float64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Get read-locks the guard: also clean.
+func (g *gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// resetLocked relies on the *Locked naming convention.
+func (g *gauge) resetLocked() { g.val = 0 }
+
+// drain is called with mu held by the flush path.
+func (g *gauge) drain() float64 { return g.val }
+
+func useClean() {
+	var g gauge
+	g.Set(1)
+	_ = g.Get()
+	g.resetLocked()
+	_ = g.drain()
+}

@@ -1,0 +1,36 @@
+package ignore
+
+import "math/rand"
+
+// jitter demonstrates a sanctioned suppression: directive above the line.
+func jitter() float64 {
+	//lint:ignore determinism fixture demonstrating a justified suppression
+	return rand.Float64()
+}
+
+// inline demonstrates the end-of-line form.
+func inline() int {
+	return rand.Int() //lint:ignore determinism fixture inline suppression
+}
+
+// loud stays flagged: no directive.
+func loud() int {
+	return rand.Intn(10)
+}
+
+// wrongCheck suppresses a different check, so determinism still fires.
+func wrongCheck() float64 {
+	//lint:ignore floateq reason that does not match the finding's check
+	return rand.NormFloat64()
+}
+
+//lint:ignore determinism
+var missingReason = 0
+
+func use() {
+	_ = jitter()
+	_ = inline()
+	_ = loud()
+	_ = wrongCheck()
+	_ = missingReason
+}

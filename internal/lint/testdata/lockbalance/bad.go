@@ -1,0 +1,38 @@
+package lockbalance
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	v  int
+}
+
+// branchy hand-unlocks on two return paths: one refactor away from a
+// leaked lock.
+func (b *box) branchy(flag bool) int {
+	b.mu.Lock() // want `branchy: b\.mu\.Lock\(\) without defer b\.mu\.Unlock\(\) but 2 return paths`
+	if flag {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// reader does the same with a read lock.
+func (b *box) reader(flag bool) int {
+	b.rw.RLock() // want `reader: b\.rw\.RLock\(\) without defer b\.rw\.RUnlock\(\) but 2 return paths`
+	if flag {
+		b.rw.RUnlock()
+		return b.v
+	}
+	b.rw.RUnlock()
+	return 0
+}
+
+func use() {
+	b := &box{}
+	_ = b.branchy(true)
+	_ = b.reader(false)
+}

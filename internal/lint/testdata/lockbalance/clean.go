@@ -1,0 +1,51 @@
+package lockbalance
+
+import "sync"
+
+type jar struct {
+	mu sync.Mutex
+	v  int
+}
+
+// deferred is the canonical safe shape.
+func (j *jar) deferred(flag bool) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if flag {
+		return j.v
+	}
+	return 0
+}
+
+// straightline has a single fall-through path: explicit Unlock is fine.
+func (j *jar) straightline() {
+	j.mu.Lock()
+	j.v++
+	j.mu.Unlock()
+}
+
+// closureUnlock defers the unlock inside a closure.
+func (j *jar) closureUnlock(flag bool) int {
+	j.mu.Lock()
+	defer func() { j.mu.Unlock() }()
+	if flag {
+		return j.v
+	}
+	return -1
+}
+
+// oneReturn locks without defer but has only the single final return.
+func (j *jar) oneReturn() int {
+	j.mu.Lock()
+	v := j.v
+	j.mu.Unlock()
+	return v
+}
+
+func useClean() {
+	j := &jar{}
+	_ = j.deferred(true)
+	j.straightline()
+	_ = j.closureUnlock(false)
+	_ = j.oneReturn()
+}

@@ -190,8 +190,8 @@ type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	parties int
-	count   int
-	phase   int
+	count   int // guarded by mu
+	phase   int // guarded by mu
 }
 
 func newBarrier(parties int) *barrier {
