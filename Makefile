@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint bench cover experiments figures clean
+.PHONY: all build test race lint bench cover experiments figures faults clean
 
 all: build test lint
 
@@ -32,6 +32,12 @@ experiments:
 
 figures:
 	go run ./cmd/benchsuite -svg figures/
+
+# Fault-injection quick pass: the F9/T8 experiments at small scale plus
+# the deterministic walkthrough (run it twice: the output is identical).
+faults:
+	go run ./cmd/benchsuite -exp F9,T8 -scale small
+	go run ./examples/faults
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment ID (F1..F8, T1..T7, A1..A8), comma list, or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID (F1..F9, T1..T8, A1..A8), comma list, or 'all'")
 		scale     = flag.String("scale", "small", "workload scale: small | paper")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		list      = flag.Bool("list", false, "list available experiments and exit")
@@ -91,10 +91,25 @@ func main() {
 	if *exp == "all" {
 		ids = bench.Experiments()
 	} else {
-		ids = strings.Split(*exp, ",")
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		// Validate the whole list before running anything: a typo late in
+		// the list must not surface only after minutes of earlier
+		// experiments have already run.
+		var unknown []string
+		for _, id := range ids {
+			if !bench.Known(id) {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			log.Fatalf("unknown experiment(s) %s; valid IDs: %s",
+				strings.Join(unknown, ", "), strings.Join(bench.Experiments(), " "))
+		}
 	}
 	for _, id := range ids {
-		t, err := s.Run(strings.TrimSpace(id))
+		t, err := s.Run(id)
 		if err != nil {
 			log.Fatal(err)
 		}

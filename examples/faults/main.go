@@ -1,0 +1,70 @@
+// Faults: a walkthrough of the deterministic fault-injection subsystem
+// (internal/fault). A seeded fault.Spec compiles to a Plan of rank
+// crashes, transient stalls and message faults; the resilient executors
+// run the same workload through it and report where the recovery time
+// went. Running this twice prints byte-identical output — a run is a pure
+// function of (workload, machine, seed, plan).
+//
+//	go run ./examples/faults [-ranks p] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"execmodels/internal/cluster"
+	"execmodels/internal/core"
+	"execmodels/internal/fault"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "simulated ranks")
+	seed := flag.Int64("seed", 7, "fault-plan seed")
+	flag.Parse()
+
+	w := core.Synthetic(core.SyntheticOptions{
+		NumTasks: 2048, Dist: "lognormal", Sigma: 1.2, Seed: 3,
+	})
+	cfg := cluster.Config{Ranks: *ranks, Heterogeneity: 0.2, Seed: 5}
+
+	// Fault-free baselines first: the resilient executors on a reliable
+	// machine behave like their base models plus zero-cost bookkeeping.
+	fmt.Println("fault-free baselines:")
+	base := map[string]float64{}
+	for _, model := range core.ResilientModels(42) {
+		res := model.Run(w, cluster.New(cfg))
+		base[model.Name()] = res.Makespan
+		fmt.Printf("  %s\n", res)
+	}
+
+	// Compile a fault plan: every rank has a 25% chance of fail-stopping
+	// somewhere in the window, a 25% chance of one transient stall, and
+	// every message faces a 2% drop chance. Same seed, same plan, always.
+	horizon := 0.8 * base["resilient-static"]
+	spec := fault.Spec{
+		Ranks: *ranks, Horizon: horizon,
+		CrashProb: 0.25,
+		StallProb: 0.25, StallMean: horizon / 20,
+		Drop: 0.02,
+		Seed: *seed,
+	}
+	plan := spec.Build()
+	fmt.Printf("\nfault plan (seed %d): %d crashes, %d stalls, %.0f%% message drop\n",
+		*seed, len(plan.Crashes), len(plan.Stalls), 100*plan.Links.Drop)
+	for _, c := range plan.Crashes {
+		fmt.Printf("  rank %2d fail-stops at t=%.4fs\n", c.Rank, c.At)
+	}
+
+	fmt.Println("\nthe same workload under that plan:")
+	for _, model := range core.ResilientModels(42) {
+		m := cluster.New(cfg)
+		m.Faults = fault.NewInjector(plan, *ranks)
+		res := model.Run(w, m)
+		fmt.Printf("  %s\n", res)
+		fmt.Printf("      overhead=%+.3gs vs fault-free; every task completed exactly once (%d accounted)\n",
+			res.Makespan-base[res.Model], len(res.CompletedBy))
+	}
+
+	fmt.Println("\nwork stealing re-absorbs a dead rank's queue on demand; static block stalls at")
+	fmt.Println("the barrier before redistributing; checkpointed persistence rolls whole iterations back.")
+}

@@ -198,6 +198,15 @@ var registry = map[string]func(*Suite) *Table{
 	"A7": (*Suite).AblationSelfSched,
 	"A8": (*Suite).AblationFMRefiner,
 	"F8": (*Suite).Figure8,
+	"F9": (*Suite).Figure9,
+	"T8": (*Suite).Table8,
+}
+
+// Known reports whether id names a registered experiment — the fail-fast
+// validation cmd/benchsuite applies before running anything.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
 }
 
 // Gantt runs the named execution model on the suite's chemistry workload

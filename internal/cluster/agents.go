@@ -58,7 +58,7 @@ type Interval struct {
 	Start    float64
 	End      float64
 	TaskID   int    // -1 for non-task activity
-	Activity string // "task", "steal", "counter", "comm", "idle"
+	Activity string // "task", "steal", "counter", "comm", "stall", "recover", "idle"
 }
 
 // Trace records what each rank did when. It is optional: executors accept
@@ -131,7 +131,7 @@ func (t *Trace) Gantt(ranks, width int) string {
 		rows[r] = bytes.Repeat([]byte{'.'}, width)
 	}
 	scale := float64(width) / (end - start)
-	glyph := map[string]byte{"task": '#', "steal": 's', "counter": 'c', "comm": '~'}
+	glyph := map[string]byte{"task": '#', "steal": 's', "counter": 'c', "comm": '~', "stall": 'z', "recover": 'r'}
 	// Paint non-task activities first, then tasks on top.
 	for pass := 0; pass < 2; pass++ {
 		for _, iv := range t.Intervals {
@@ -157,6 +157,6 @@ func (t *Trace) Gantt(ranks, width int) string {
 	for r, row := range rows {
 		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
 	}
-	b.WriteString("          # task   s steal   c counter   ~ comm   . idle\n")
+	b.WriteString("          # task   s steal   c counter   ~ comm   z stall   r recover   . idle\n")
 	return b.String()
 }

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"math"
+
+	"execmodels/internal/fault"
+)
+
+// Fault-injection hooks on the machine's rank clocks. Every method is
+// nil-safe with respect to m.Faults: an un-faulted machine behaves
+// exactly as before, so executors can call these unconditionally.
+
+// CrashTime returns when rank r permanently fail-stops (+Inf if never).
+func (m *Machine) CrashTime(r int) float64 {
+	if m.Faults == nil {
+		return math.Inf(1)
+	}
+	return m.Faults.CrashTime(r)
+}
+
+// Alive reports whether rank r has not crashed by simulated time t.
+func (m *Machine) Alive(r int, t float64) bool { return t < m.CrashTime(r) }
+
+// StallEnd returns the time rank r can next make progress from t,
+// skipping over any transient stall window(s) covering t.
+func (m *Machine) StallEnd(r int, t float64) float64 {
+	if m.Faults == nil {
+		return t
+	}
+	return m.Faults.StallEnd(r, t)
+}
+
+// TaskTimeFaulty executes a task of the given cost on rank r's clock
+// starting at `at`, under the machine's fault plan: the start is pushed
+// past any stall window, stalls opening mid-task freeze and stretch the
+// execution, and a crash interrupts it. It returns the time the rank's
+// clock reaches and whether the task completed; on an interrupt the
+// returned time is the crash instant and the work is lost.
+func (m *Machine) TaskTimeFaulty(r int, cost, at float64) (end float64, completed bool) {
+	crash := m.CrashTime(r)
+	if at >= crash {
+		return crash, false
+	}
+	start := m.StallEnd(r, at)
+	if start >= crash {
+		return crash, false
+	}
+	end = start + m.TaskTimeAt(r, cost, start)
+	if m.Faults != nil {
+		end = m.Faults.ExtendForStalls(r, start, end)
+	}
+	if end > crash {
+		return crash, false
+	}
+	return end, true
+}
+
+// LinkFilter returns the machine's per-message fault filter, or nil when
+// no message faults are configured (a nil filter reports clean delivery).
+func (m *Machine) LinkFilter() *fault.LinkFilter {
+	if m.Faults == nil {
+		return nil
+	}
+	return m.Faults.Links()
+}

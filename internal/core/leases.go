@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// leaseTable is the exactly-once bookkeeping behind the resilient
+// executors: every task is leased to the rank responsible for running it,
+// a lease moves when work is stolen or reclaimed from a dead rank, and a
+// completion is only accepted from the current leaseholder. The table is
+// what lets a run prove, after arbitrary crashes, that every originally
+// generated task ended up in the completed set exactly once.
+//
+// The simulated executors are single-threaded event loops, so the table
+// needs no lock; the concurrency-safe analog for the wall-clock runtime
+// is ga.LeaseCounter.
+type leaseTable struct {
+	holder      []int  // task → rank currently responsible (-1 = nobody)
+	started     []bool // task → an execution attempt has begun
+	done        []bool // task → durably completed
+	completedBy []int  // task → rank whose completion was accepted (-1 = none)
+	remaining   int
+	reexec      int // interrupted/discarded attempts that had to run again
+}
+
+func newLeaseTable(n int) *leaseTable {
+	lt := &leaseTable{
+		holder:      make([]int, n),
+		started:     make([]bool, n),
+		done:        make([]bool, n),
+		completedBy: make([]int, n),
+		remaining:   n,
+	}
+	for i := range lt.holder {
+		lt.holder[i] = -1
+		lt.completedBy[i] = -1
+	}
+	return lt
+}
+
+// claim hands task t's lease to rank r.
+func (lt *leaseTable) claim(t, r int) { lt.holder[t] = r }
+
+// start records that rank r began executing task t. A started-but-not-done
+// task on a crashed rank is lost work: its next completion counts as a
+// re-execution.
+func (lt *leaseTable) start(t, r int) {
+	if lt.holder[t] != r {
+		panic(fmt.Sprintf("core: rank %d started task %d leased to %d", r, t, lt.holder[t]))
+	}
+	if lt.started[t] && !lt.done[t] {
+		lt.reexec++
+	}
+	lt.started[t] = true
+}
+
+// complete records task t's durable completion by rank r. Completing a
+// task twice, or completing one whose lease moved elsewhere, is an
+// exactly-once violation and panics — the invariant the determinism and
+// recovery tests lean on.
+func (lt *leaseTable) complete(t, r int) {
+	if lt.done[t] {
+		panic(fmt.Sprintf("core: task %d completed twice (by %d, then %d)", t, lt.completedBy[t], r))
+	}
+	if lt.holder[t] != r {
+		panic(fmt.Sprintf("core: rank %d completed task %d leased to %d", r, t, lt.holder[t]))
+	}
+	lt.done[t] = true
+	lt.completedBy[t] = r
+	lt.remaining--
+}
+
+// rollback erases the completions in ts (checkpoint/restart discards an
+// aborted iteration's results). started flags stay set so the re-runs are
+// counted as re-executions.
+func (lt *leaseTable) rollback(ts []int) {
+	for _, t := range ts {
+		if lt.done[t] {
+			lt.done[t] = false
+			lt.completedBy[t] = -1
+			lt.remaining++
+		}
+	}
+}
+
+// lost returns, in ascending task order, every task leased to rank r that
+// never durably completed — the loss set survivors reclaim after r's
+// crash is detected.
+func (lt *leaseTable) lost(r int) []int {
+	var out []int
+	for t, h := range lt.holder {
+		if h == r && !lt.done[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// audit panics unless every task completed exactly once.
+func (lt *leaseTable) audit() {
+	if lt.remaining != 0 {
+		panic(fmt.Sprintf("core: %d tasks never completed", lt.remaining))
+	}
+	for t, by := range lt.completedBy {
+		if by < 0 || !lt.done[t] {
+			panic(fmt.Sprintf("core: task %d missing from the completed set", t))
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"execmodels/internal/cluster"
+	"execmodels/internal/fault"
+)
+
+// Resilient execution models: the same scheduling strategies as their
+// reliable counterparts, extended with the recovery machinery a fault-
+// injecting machine (cluster.Machine with a non-nil Faults injector)
+// requires — crash detection by timeout, lease tracking with loss
+// detection and re-execution, and reclamation of a dead rank's work.
+// On a reliable machine they behave like the base models plus the
+// (zero-cost) bookkeeping, so F9's p=0 column doubles as a consistency
+// check.
+//
+// The recovery semantics share one durability assumption with the Fock
+// build they model: a task's contribution is accumulated into the
+// distributed result arrays the moment it completes, so work finished
+// before a crash survives the crash. Only leased-but-unfinished work is
+// lost and must be re-executed — and the lease table proves every task
+// still completes exactly once. (CheckpointedPersistence deliberately
+// uses the opposite, rollback-based semantics; see checkpoint.go.)
+
+// descriptorBytes is the wire size of one task descriptor, charged when
+// reclaimed or redistributed work is re-fetched from the replicated
+// workload description.
+const descriptorBytes = 64
+
+// defaultDetect returns the crash-detection timeout: how long a silent
+// peer is given before being presumed dead. Scaled to the network: a
+// presumption window of 100 one-way latencies.
+func defaultDetect(m *cluster.Machine) float64 { return 100 * m.Cfg.Latency }
+
+// chargeComm charges rank r the remote-block traffic of task t starting
+// at now and returns the advanced clock (same cost model as
+// runAssignment: one get + one accumulate per distinct remote block,
+// cached per rank).
+func chargeComm(res *Result, w *Workload, m *cluster.Machine, seen []map[int]bool, r int, t *Task, now float64) float64 {
+	for _, b := range t.Blocks {
+		owner := blockOwner(b, m.P)
+		if owner == r || seen[r][b] {
+			continue
+		}
+		seen[r][b] = true
+		ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
+		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: now + ct, TaskID: -1, Activity: "comm"})
+		res.CommTime[r] += ct
+		now += ct
+	}
+	return now
+}
+
+// ResilientStatic is the static block schedule under faults: ranks
+// execute their fixed assignment and meet at a barrier. A crashed rank
+// takes its unfinished assignment down with it; the survivors only find
+// out after stalling at the barrier for DetectTimeout, then re-fetch the
+// lost task descriptors and re-execute the lost work — the "static loses
+// assigned work and stalls at the barrier" failure mode F9 quantifies.
+type ResilientStatic struct {
+	// DetectTimeout is how long the barrier waits for a silent rank
+	// before declaring it dead (default 100× network latency).
+	DetectTimeout float64
+}
+
+// Name implements Model.
+func (ResilientStatic) Name() string { return "resilient-static" }
+
+// Run implements Model.
+func (rs ResilientStatic) Run(w *Workload, m *cluster.Machine) *Result {
+	res := newResult(rs.Name(), m.P)
+	n := len(w.Tasks)
+	detect := rs.DetectTimeout
+	if detect <= 0 {
+		detect = defaultDetect(m)
+	}
+
+	lt := newLeaseTable(n)
+	pending := make([][]int, m.P)
+	per := (n + m.P - 1) / m.P
+	for i := 0; i < n; i++ {
+		r := min(i/per, m.P-1)
+		pending[r] = append(pending[r], i)
+		lt.claim(i, r)
+	}
+
+	clock := make([]float64, m.P)
+	crashed := make([]bool, m.P)
+	detected := make([]bool, m.P)
+	seen := make([]map[int]bool, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+
+	for round := 0; ; round++ {
+		// Each live rank burns through its list.
+		for r := 0; r < m.P; r++ {
+			if crashed[r] {
+				continue
+			}
+			for len(pending[r]) > 0 {
+				id := pending[r][0]
+				task := &w.Tasks[id]
+				lt.start(id, r)
+				end, ok := m.TaskTimeFaulty(r, task.Cost, clock[r])
+				m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: end, TaskID: id, Activity: "task"})
+				res.BusyTime[r] += end - clock[r]
+				clock[r] = end
+				if !ok {
+					// Fail-stop mid-task: the interrupted task and the rest
+					// of the list die with the rank.
+					crashed[r] = true
+					res.Crashes++
+					break
+				}
+				res.TasksRun[r]++
+				clock[r] = chargeComm(res, w, m, seen, r, task, clock[r])
+				lt.complete(id, r)
+				pending[r] = pending[r][1:]
+			}
+		}
+
+		// Barrier among survivors; collect what the dead took with them.
+		var survivors []int
+		bar := 0.0
+		for r := 0; r < m.P; r++ {
+			if crashed[r] {
+				continue
+			}
+			survivors = append(survivors, r)
+			if clock[r] > bar {
+				bar = clock[r]
+			}
+		}
+		var lost []int
+		for r := 0; r < m.P; r++ {
+			if crashed[r] {
+				lost = append(lost, lt.lost(r)...)
+				pending[r] = nil
+			}
+		}
+		if len(lost) == 0 {
+			for _, r := range survivors {
+				res.FinishTime[r] = bar
+			}
+			break
+		}
+		if len(survivors) == 0 {
+			panic("core: resilient-static has no surviving ranks to recover on")
+		}
+
+		// The barrier times out, the dead are detected, the lost work is
+		// redistributed round-robin and re-fetched from the replicated
+		// workload description.
+		detectAt := bar + detect
+		for r := 0; r < m.P; r++ {
+			if crashed[r] && !detected[r] {
+				detected[r] = true
+				res.FinishTime[r] = clock[r]
+				res.DetectLatency += detectAt - m.CrashTime(r)
+			}
+		}
+		res.LostTasks += len(lost)
+		counts := make(map[int]int, len(survivors))
+		for i, id := range lost {
+			r := survivors[i%len(survivors)]
+			pending[r] = append(pending[r], id)
+			lt.claim(id, r)
+			counts[r]++
+		}
+		for _, r := range survivors {
+			restart := detectAt + m.XferTime(descriptorBytes*counts[r])
+			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: restart, TaskID: -1, Activity: "recover"})
+			res.RecoveryTime += restart - clock[r]
+			clock[r] = restart
+		}
+	}
+	res.ReExecuted = lt.reexec
+	res.CompletedBy = lt.completedBy
+	lt.audit()
+	res.finalize()
+	return res
+}
+
+// ResilientStealing is distributed work stealing under faults. Thieves
+// whose steal probe goes unanswered for DetectTimeout presume the victim
+// dead and reclaim its entire loss set — queue residue plus the task it
+// was executing — under lease transfer, so the group re-absorbs a dead
+// rank's work the way it absorbs an overloaded rank's. Dropped probe
+// messages are retried (bounded, with exponential backoff); a victim that
+// exhausts the retries is presumed dead too, and the lease table makes
+// even a false positive safe: a completion from a revoked lease is
+// discarded, never double-counted.
+type ResilientStealing struct {
+	Seed int64
+
+	// DetectTimeout is the silent-victim presumption window (default
+	// 100× network latency).
+	DetectTimeout float64
+	// RPCTimeout is the per-attempt probe timeout under message loss
+	// (default 20× network latency).
+	RPCTimeout float64
+	// MaxRetries bounds dropped-probe retries before presuming the victim
+	// dead (default 3).
+	MaxRetries int
+}
+
+// Name implements Model.
+func (ResilientStealing) Name() string { return "resilient-stealing" }
+
+// Run implements Model.
+func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
+	res := newResult(rs.Name(), m.P)
+	rng := rand.New(rand.NewSource(rs.Seed))
+	n := len(w.Tasks)
+	detect := rs.DetectTimeout
+	if detect <= 0 {
+		detect = defaultDetect(m)
+	}
+	rpcTO := rs.RPCTimeout
+	if rpcTO <= 0 {
+		rpcTO = 20 * m.Cfg.Latency
+	}
+	maxRetry := rs.MaxRetries
+	if maxRetry <= 0 {
+		maxRetry = 3
+	}
+	links := m.LinkFilter()
+
+	lt := newLeaseTable(n)
+	queues := make([][]int, m.P)
+	per := (n + m.P - 1) / m.P
+	for i := 0; i < n; i++ {
+		r := min(i/per, m.P-1)
+		queues[r] = append(queues[r], i)
+		lt.claim(i, r)
+	}
+
+	seen := make([]map[int]bool, m.P)
+	fails := make([]int, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+	crashed := make([]bool, m.P)   // this rank's death has been observed
+	deadKnown := make([]bool, m.P) // group-wide "presumed dead" knowledge
+	seq := make([]int, m.P)        // per-thief probe sequence numbers
+
+	h := make(rankHeap, 0, m.P)
+	for r := 0; r < m.P; r++ {
+		heap.Push(&h, rankEvent{rank: r, time: 0})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(rankEvent)
+		r := ev.rank
+		crashT := m.CrashTime(r)
+		if ev.time >= crashT {
+			// Died while idle or between operations; survivors will notice.
+			crashed[r] = true
+			res.Crashes++
+			res.FinishTime[r] = crashT
+			continue
+		}
+		now := m.StallEnd(r, ev.time)
+		if now > ev.time {
+			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: now, TaskID: -1, Activity: "stall"})
+		}
+		if now >= crashT {
+			crashed[r] = true
+			res.Crashes++
+			res.FinishTime[r] = crashT
+			continue
+		}
+
+		if len(queues[r]) > 0 {
+			id := queues[r][len(queues[r])-1]
+			queues[r] = queues[r][:len(queues[r])-1]
+			task := &w.Tasks[id]
+			lt.start(id, r)
+			end, ok := m.TaskTimeFaulty(r, task.Cost, now)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: end, TaskID: id, Activity: "task"})
+			res.BusyTime[r] += end - now
+			if !ok {
+				// Fail-stop mid-task: the in-flight lease and the queue
+				// residue stay with the corpse until reclaimed.
+				crashed[r] = true
+				res.Crashes++
+				res.FinishTime[r] = end
+				continue
+			}
+			res.TasksRun[r]++
+			t := chargeComm(res, w, m, seen, r, task, end)
+			if lt.holder[id] == r {
+				lt.complete(id, r)
+			}
+			// else: the lease was revoked by a false-positive failure
+			// detection while we ran — the result is discarded and the
+			// reclaimed copy will complete instead.
+			fails[r] = 0
+			heap.Push(&h, rankEvent{rank: r, time: t})
+			continue
+		}
+
+		if lt.remaining == 0 {
+			res.FinishTime[r] = now
+			continue
+		}
+
+		// Steal attempt against a victim believed alive.
+		victim := pickAliveVictim(r, deadKnown, rng, m.P)
+		if victim < 0 {
+			// Everyone else is presumed dead but work remains in flight
+			// (a false positive is executing it); poll again later.
+			res.Retransmits++
+			heap.Push(&h, rankEvent{rank: r, time: now + detect})
+			continue
+		}
+
+		var t float64
+		if m.CrashTime(victim) <= now {
+			// Dead victim: the probe goes unanswered and times out.
+			t = now + detect
+			res.Retransmits++
+			if !deadKnown[victim] {
+				t = rs.reclaim(res, m, lt, queues, deadKnown, victim, r, now, t)
+			}
+			res.StealTime += t - now
+			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: t, TaskID: -1, Activity: "recover"})
+			heap.Push(&h, rankEvent{rank: r, time: t})
+			continue
+		}
+
+		// Live victim: the probe may be dropped (retry with backoff),
+		// delayed, or answered late by a stalled victim.
+		t, delivered := probe(links, m, r, victim, now, &seq[r], rpcTO, maxRetry, res)
+		if !delivered {
+			// Retries exhausted: presume the victim dead even though it is
+			// not — the lease transfer keeps this safe.
+			if !deadKnown[victim] {
+				t = rs.reclaim(res, m, lt, queues, deadKnown, victim, r, now, t)
+			}
+			res.StealTime += t - now
+			heap.Push(&h, rankEvent{rank: r, time: t})
+			continue
+		}
+		if len(queues[victim]) > 0 {
+			take := (len(queues[victim]) + 1) / 2
+			loot := append([]int(nil), queues[victim][:take]...)
+			queues[victim] = queues[victim][take:]
+			for i, j := 0, len(loot)-1; i < j; i, j = i+1, j-1 {
+				loot[i], loot[j] = loot[j], loot[i]
+			}
+			for _, id := range loot {
+				lt.claim(id, r)
+			}
+			queues[r] = append(queues[r], loot...)
+			res.Steals++
+			if !m.SameNode(r, victim) {
+				res.RemoteSteals++
+			}
+			fails[r] = 0
+			t += m.Cfg.Latency // task-descriptor transfer
+		} else {
+			res.FailedSteals++
+			fails[r]++
+			t += float64(uint(1)<<min(fails[r], 10)) * m.Cfg.Latency
+		}
+		res.StealTime += t - now
+		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: t, TaskID: -1, Activity: "steal"})
+		heap.Push(&h, rankEvent{rank: r, time: t})
+	}
+	if lt.remaining > 0 {
+		panic(fmt.Sprintf("core: resilient-stealing stranded %d tasks (no surviving ranks?)", lt.remaining))
+	}
+	res.ReExecuted = lt.reexec
+	res.CompletedBy = lt.completedBy
+	lt.audit()
+	res.finalize()
+	return res
+}
+
+// reclaim executes the recovery protocol after thief declares victim
+// dead at time `at` (detection completing at detectAt): the victim is
+// marked dead group-wide, its loss set (queue residue + interrupted
+// in-flight task) transfers to the thief under new leases, and the thief
+// pays to re-fetch the descriptors. Returns the thief's clock after
+// recovery.
+func (rs ResilientStealing) reclaim(res *Result, m *cluster.Machine, lt *leaseTable, queues [][]int, deadKnown []bool, victim, thief int, at, detectAt float64) float64 {
+	deadKnown[victim] = true
+	if ct := m.CrashTime(victim); ct <= detectAt {
+		res.DetectLatency += detectAt - ct
+	}
+	loot := lt.lost(victim)
+	queues[victim] = nil
+	for _, id := range loot {
+		lt.claim(id, thief)
+	}
+	queues[thief] = append(queues[thief], loot...)
+	res.LostTasks += len(loot)
+	end := detectAt + m.XferTime(descriptorBytes*len(loot))
+	res.RecoveryTime += end - at
+	return end
+}
+
+// probe models one steal round-trip from thief to a live victim under
+// message faults: dropped requests time out after rpcTO and are retried
+// with exponential backoff up to maxRetry attempts; delayed requests pay
+// the filter's delay; a stalled victim answers when its window ends.
+// Returns the thief's clock after the exchange and whether any attempt
+// got through.
+func probe(links *fault.LinkFilter, m *cluster.Machine, thief, victim int, now float64, seq *int, rpcTO float64, maxRetry int, res *Result) (float64, bool) {
+	t := now
+	for attempt := 0; attempt < maxRetry; attempt++ {
+		k := *seq
+		*seq++
+		fate := links.Fate(thief, victim, k)
+		if fate == fault.Drop {
+			res.Retransmits++
+			t += rpcTO * float64(uint(1)<<attempt)
+			continue
+		}
+		rtt := m.RoundTripBetween(thief, victim)
+		if fate == fault.Delayed {
+			rtt += links.DelayTime(thief, victim, k)
+		}
+		// A stalled victim holds the response until its window ends.
+		arrive := t + rtt/2
+		if wake := m.StallEnd(victim, arrive); wake > arrive {
+			rtt += wake - arrive
+		}
+		return t + rtt, true
+	}
+	return t, false
+}
+
+// pickAliveVictim picks a victim uniformly among ranks not presumed
+// dead. Deterministic: the eligible set is built in rank order and one
+// rng draw selects from it.
+func pickAliveVictim(self int, deadKnown []bool, rng *rand.Rand, p int) int {
+	eligible := make([]int, 0, p-1)
+	for r := 0; r < p; r++ {
+		if r != self && !deadKnown[r] {
+			eligible = append(eligible, r)
+		}
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	return eligible[rng.Intn(len(eligible))]
+}

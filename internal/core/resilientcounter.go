@@ -1,0 +1,233 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"execmodels/internal/cluster"
+	"execmodels/internal/fault"
+)
+
+// ResilientCounter is the centralized dynamic model under faults: ranks
+// pull task indices from the shared counter's home, and the home tracks a
+// lease for every index it hands out. A lease whose holder goes silent
+// past its deadline is revoked and its index re-issued to the next
+// requester — so a crashed rank's claimed-but-unfinished work flows back
+// into the pool with a detection latency of one lease window. Revocation
+// is epoch-safe: a completion arriving for a revoked lease is discarded,
+// so a slow-but-alive rank whose lease expired costs wasted work, never a
+// duplicated result.
+//
+// By default the home decouples liveness from task duration, as
+// heartbeat-based failure detectors do: when a lease goes quiet past the
+// probe interval the home pings the holder, renews the lease if the ping
+// is answered, and revokes only when it is not — so even a task from the
+// heavy tail of the cost distribution is reclaimed within roughly one
+// probe interval of its holder's death, not after a multiple of its own
+// runtime. Setting LeaseTimeout switches to plain silence-based expiry
+// (no pings): a lease older than the window is revoked outright, which
+// can falsely revoke slow-but-alive holders — the epoch check turns that
+// into bounded wasted work rather than a correctness problem.
+type ResilientCounter struct {
+	// Chunk is the number of indices claimed per counter operation
+	// (default 1).
+	Chunk int
+	// LeaseTimeout, when positive, disables liveness pings and revokes
+	// any lease silent for this long.
+	LeaseTimeout float64
+}
+
+// rcLease is one outstanding claim at the counter's home.
+type rcLease struct {
+	task, rank int
+	deadline   float64 // revocation time if still unfinished
+}
+
+// Name implements Model.
+func (ResilientCounter) Name() string { return "resilient-counter" }
+
+// Run implements Model.
+func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
+	res := newResult(rc.Name(), m.P)
+	n := len(w.Tasks)
+	chunk := rc.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	// pinged: the default heartbeat-style detector. probeIvl is how long a
+	// lease may go quiet before the home checks on (or, without pings,
+	// revokes) its holder.
+	detect := defaultDetect(m)
+	pinged := rc.LeaseTimeout <= 0
+	probeIvl := rc.LeaseTimeout
+	if pinged {
+		probeIvl = 100 * detect
+	}
+	links := m.LinkFilter()
+	rpcTO := 20 * m.Cfg.Latency
+
+	counter := cluster.NewCounterAgent(m)
+	lt := newLeaseTable(n)
+	var leases []rcLease // outstanding leases, compacted on expiry sweeps
+	var reissue []int    // revoked indices awaiting re-issue, oldest first
+	nextFresh := 0
+
+	seen := make([]map[int]bool, m.P)
+	for r := range seen {
+		seen[r] = map[int]bool{}
+	}
+	crashed := make([]bool, m.P)
+	detected := make([]bool, m.P)
+	seq := make([]int, m.P) // per-rank counter-RPC sequence numbers
+
+	// expire sweeps every outstanding lease past its deadline as of the
+	// home's service time `now`: in pinged mode a live holder's lease is
+	// renewed for another probe interval (the ping traffic is background
+	// failure-detector chatter, not charged to the run), a dead holder's
+	// lease is revoked; without pings, silence alone revokes. Detection
+	// latency is credited the first time a dead rank's lease is revoked.
+	// Settled leases (completed, or moved) are compacted away in the sweep.
+	expire := func(now float64) {
+		kept := leases[:0]
+		for _, L := range leases {
+			if lt.done[L.task] || lt.holder[L.task] != L.rank {
+				continue // completed, or already moved by an earlier revocation
+			}
+			if L.deadline > now {
+				kept = append(kept, L)
+				continue
+			}
+			if pinged && m.CrashTime(L.rank) > now {
+				L.deadline = now + probeIvl // ping answered: holder is alive
+				kept = append(kept, L)
+				continue
+			}
+			lt.claim(L.task, -1) // revoke: stale completions are now rejected
+			reissue = append(reissue, L.task)
+			res.LostTasks++
+			if ct := m.CrashTime(L.rank); ct <= now && !detected[L.rank] {
+				detected[L.rank] = true
+				res.DetectLatency += now - ct
+			}
+		}
+		leases = kept
+	}
+
+	h := make(rankHeap, 0, m.P)
+	for r := 0; r < m.P; r++ {
+		heap.Push(&h, rankEvent{rank: r, time: 0})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(rankEvent)
+		r := ev.rank
+		crashT := m.CrashTime(r)
+		if ev.time >= crashT {
+			crashed[r] = true
+			res.Crashes++
+			res.FinishTime[r] = crashT
+			continue
+		}
+		now := m.StallEnd(r, ev.time)
+		if now > ev.time {
+			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: now, TaskID: -1, Activity: "stall"})
+		}
+		if now >= crashT {
+			crashed[r] = true
+			res.Crashes++
+			res.FinishTime[r] = crashT
+			continue
+		}
+		if lt.remaining == 0 {
+			res.FinishTime[r] = now
+			continue
+		}
+
+		// Counter RPC; the request can be dropped en route to the home.
+		if links.Fate(r, 0, seq[r]) == fault.Drop {
+			seq[r]++
+			res.Retransmits++
+			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: now + rpcTO, TaskID: -1, Activity: "counter"})
+			heap.Push(&h, rankEvent{rank: r, time: now + rpcTO})
+			continue
+		}
+		seq[r]++
+		_, done := counter.FetchAdd(now, int64(chunk))
+		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: done, TaskID: -1, Activity: "counter"})
+
+		// Home side: expire silent leases, then grant work — revoked
+		// indices first, fresh indices after.
+		expire(done)
+		var grant []int
+		for len(grant) < chunk && len(reissue) > 0 {
+			grant = append(grant, reissue[0])
+			reissue = reissue[1:]
+		}
+		for len(grant) < chunk && nextFresh < n {
+			grant = append(grant, nextFresh)
+			nextFresh++
+		}
+		if len(grant) == 0 {
+			if lt.remaining == 0 {
+				res.FinishTime[r] = done
+				continue
+			}
+			// All work is leased out; poll again when the earliest
+			// outstanding lease could expire.
+			retry := math.Inf(1)
+			for _, L := range leases {
+				if !lt.done[L.task] && lt.holder[L.task] == L.rank && L.deadline < retry {
+					retry = L.deadline
+				}
+			}
+			if math.IsInf(retry, 1) {
+				retry = done + probeIvl
+			}
+			res.Retransmits++
+			heap.Push(&h, rankEvent{rank: r, time: math.Max(retry, done)})
+			continue
+		}
+		for _, id := range grant {
+			lt.claim(id, r)
+			leases = append(leases, rcLease{task: id, rank: r, deadline: done + probeIvl})
+		}
+
+		t := done
+		dead := false
+		for _, id := range grant {
+			task := &w.Tasks[id]
+			lt.start(id, r)
+			end, ok := m.TaskTimeFaulty(r, task.Cost, t)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: end, TaskID: id, Activity: "task"})
+			res.BusyTime[r] += end - t
+			t = end
+			if !ok {
+				crashed[r] = true
+				res.Crashes++
+				res.FinishTime[r] = end
+				dead = true
+				break
+			}
+			res.TasksRun[r]++
+			t = chargeComm(res, w, m, seen, r, task, t)
+			if lt.holder[id] == r {
+				lt.complete(id, r)
+			}
+			// else: our lease expired while we ran; the result is
+			// discarded and the re-issued copy completes instead.
+		}
+		if !dead {
+			heap.Push(&h, rankEvent{rank: r, time: t})
+		}
+	}
+	if lt.remaining > 0 {
+		panic(fmt.Sprintf("core: resilient-counter stranded %d tasks (no surviving ranks?)", lt.remaining))
+	}
+	res.CounterOps = counter.Ops()
+	res.CounterWait = counter.TotalWait()
+	res.ReExecuted = lt.reexec
+	res.CompletedBy = lt.completedBy
+	lt.audit()
+	res.finalize()
+	return res
+}

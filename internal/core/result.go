@@ -31,6 +31,20 @@ type Result struct {
 	RemoteSteals int64   // successful steals that crossed a node boundary
 	FailedSteals int64
 	StealTime    float64 // total time spent in steal protocol
+
+	// Fault-recovery accounting, populated by the resilient executors
+	// (zero on a reliable machine). See internal/fault and resilient.go.
+	Crashes        int     // ranks that fail-stopped during the run
+	LostTasks      int     // unfinished tasks reclaimed from crashed ranks
+	ReExecuted     int     // execution attempts discarded and run again
+	Retransmits    int64   // timed-out / retried runtime RPCs
+	DetectLatency  float64 // summed crash→detection latency over detected crashes
+	RecoveryTime   float64 // simulated time spent detecting and reclaiming
+	CheckpointTime float64 // simulated time writing/restoring checkpoints
+	// CompletedBy maps task → rank whose completion was accepted; only the
+	// resilient executors populate it (nil otherwise). The recovery tests
+	// use it to prove every task completed exactly once.
+	CompletedBy []int
 }
 
 // newResult allocates the per-rank slices.
@@ -100,6 +114,10 @@ func (r *Result) String() string {
 	}
 	if r.ScheduleCost > 0 {
 		fmt.Fprintf(&b, " schedCost=%.3gs", r.ScheduleCost)
+	}
+	if r.Crashes > 0 {
+		fmt.Fprintf(&b, " crashes=%d lost=%d reexec=%d detect=%.3gs recover=%.3gs",
+			r.Crashes, r.LostTasks, r.ReExecuted, r.DetectLatency, r.RecoveryTime)
 	}
 	return b.String()
 }

@@ -1,0 +1,305 @@
+// Package fault is the deterministic fault-injection subsystem: it
+// describes rank crashes, transient stalls and per-link message faults as
+// an explicit, seed-replayable Plan, and exposes the query surface
+// (Injector, LinkFilter) the platform model and the resilient executors
+// consult during a run.
+//
+// Determinism contract: a Plan is either written out literally or built
+// from a Spec through an explicit seeded *rand.Rand, and every runtime
+// query (is rank r alive at time t? what happens to the k-th message on
+// link src→dst?) is a pure function of (plan, arguments). Two runs with
+// the same workload, machine, seed and plan therefore produce
+// bit-identical schedules and metrics — the same reproducibility policy
+// execlint's determinism analyzer enforces on the execution models
+// themselves, extended to the faults they recover from.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Crash is a permanent fail-stop of one rank: at virtual time At the rank
+// stops executing, stops serving steal/counter requests, and never
+// returns. Work it had completed before At is durable (results were
+// already accumulated remotely); work it held or was executing is lost
+// until survivors detect the failure and reclaim it.
+type Crash struct {
+	Rank int
+	At   float64
+}
+
+// Stall freezes a rank for the window [At, At+Duration): it makes no
+// progress and answers no requests, then resumes where it left off — the
+// transient cousin of a crash (a seconds-long GC pause, an OS hang, a
+// power-capping excursion to near-zero frequency).
+type Stall struct {
+	Rank     int
+	At       float64
+	Duration float64
+}
+
+// LinkFaults gives the per-message fault probabilities applied to every
+// directed link. The three probabilities must sum to at most 1; the
+// remainder is clean delivery.
+type LinkFaults struct {
+	Drop      float64 // message silently lost
+	Duplicate float64 // message delivered twice
+	Delay     float64 // message delivered late
+	DelayMean float64 // mean extra latency of a delayed message (seconds)
+	Seed      int64   // hash seed for the per-message fate draw
+}
+
+// enabled reports whether any fault probability is set.
+func (l LinkFaults) enabled() bool {
+	return l.Drop > 0 || l.Duplicate > 0 || l.Delay > 0
+}
+
+// Plan is a complete, explicit fault schedule for one run. The zero value
+// is a fault-free plan. Plans are plain data: they can be constructed
+// literally in tests, generated from a Spec, or serialized alongside the
+// seed to make a faulty run replayable.
+type Plan struct {
+	Crashes []Crash
+	Stalls  []Stall
+	Links   LinkFaults
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Stalls) == 0 && !p.Links.enabled())
+}
+
+// Spec draws a Plan from fault-rate parameters. All randomness flows
+// through one *rand.Rand seeded from Seed, with a fixed draw order, so a
+// Spec is a reproducible recipe: Build is a pure function of the Spec.
+type Spec struct {
+	Ranks   int
+	Horizon float64 // virtual-time window [0, Horizon) faults land in
+
+	CrashProb float64 // per-rank probability of one fail-stop in the window
+	StallProb float64 // per-rank probability of one stall in the window
+	StallMean float64 // mean stall duration (uniform in [0.5, 1.5]×mean)
+
+	Drop, Duplicate, Delay float64 // per-message link-fault probabilities
+	DelayMean              float64 // mean extra delay of a delayed message
+
+	Seed int64
+}
+
+// Build draws the plan. Crash draws happen first (one Bernoulli + one
+// uniform per rank), then stall draws, so adding stall parameters never
+// perturbs the crash schedule of an existing seed.
+func (s Spec) Build() *Plan {
+	if s.Ranks <= 0 {
+		panic(fmt.Sprintf("fault: Spec.Ranks = %d", s.Ranks))
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	p := &Plan{Links: LinkFaults{
+		Drop: s.Drop, Duplicate: s.Duplicate, Delay: s.Delay,
+		DelayMean: s.DelayMean, Seed: s.Seed,
+	}}
+	for r := 0; r < s.Ranks; r++ {
+		// Draw both values unconditionally so each rank consumes a fixed
+		// number of variates and the schedules of later ranks do not
+		// depend on earlier ranks' outcomes.
+		hit, at := rng.Float64(), rng.Float64()*s.Horizon
+		if s.CrashProb > 0 && hit < s.CrashProb {
+			p.Crashes = append(p.Crashes, Crash{Rank: r, At: at})
+		}
+	}
+	for r := 0; r < s.Ranks; r++ {
+		hit, at, dur := rng.Float64(), rng.Float64()*s.Horizon, (0.5+rng.Float64())*s.StallMean
+		if s.StallProb > 0 && hit < s.StallProb {
+			p.Stalls = append(p.Stalls, Stall{Rank: r, At: at, Duration: dur})
+		}
+	}
+	return p
+}
+
+// Injector answers the fault queries executors make during a run. It is
+// immutable after construction: all methods are pure reads, safe for
+// concurrent use and free of hidden state that could break replay.
+type Injector struct {
+	ranks  int
+	crash  []float64 // per-rank crash time; +Inf = never fails
+	stalls [][]Stall // per-rank stalls, sorted by start time
+	links  *LinkFilter
+}
+
+// NewInjector compiles a plan for a machine with the given rank count.
+// Out-of-range ranks panic (a plan built for the wrong machine is a bug,
+// not a condition); duplicate crashes keep the earliest.
+func NewInjector(p *Plan, ranks int) *Injector {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("fault: injector over %d ranks", ranks))
+	}
+	in := &Injector{
+		ranks:  ranks,
+		crash:  make([]float64, ranks),
+		stalls: make([][]Stall, ranks),
+	}
+	for r := range in.crash {
+		in.crash[r] = math.Inf(1)
+	}
+	if p == nil {
+		return in
+	}
+	for _, c := range p.Crashes {
+		if c.Rank < 0 || c.Rank >= ranks {
+			panic(fmt.Sprintf("fault: crash rank %d out of %d", c.Rank, ranks))
+		}
+		if c.At < in.crash[c.Rank] {
+			in.crash[c.Rank] = math.Max(c.At, 0)
+		}
+	}
+	for _, s := range p.Stalls {
+		if s.Rank < 0 || s.Rank >= ranks {
+			panic(fmt.Sprintf("fault: stall rank %d out of %d", s.Rank, ranks))
+		}
+		if s.Duration > 0 {
+			in.stalls[s.Rank] = append(in.stalls[s.Rank], s)
+		}
+	}
+	for r := range in.stalls {
+		sort.Slice(in.stalls[r], func(i, j int) bool {
+			return in.stalls[r][i].At < in.stalls[r][j].At
+		})
+	}
+	if p.Links.enabled() {
+		in.links = &LinkFilter{LinkFaults: p.Links}
+	}
+	return in
+}
+
+// CrashTime returns when rank r fail-stops (+Inf if it never does).
+func (in *Injector) CrashTime(r int) float64 { return in.crash[r] }
+
+// AliveAt reports whether rank r has not yet crashed at time t.
+func (in *Injector) AliveAt(r int, t float64) bool { return t < in.crash[r] }
+
+// NumCrashes returns how many ranks the plan fail-stops.
+func (in *Injector) NumCrashes() int {
+	n := 0
+	for _, c := range in.crash {
+		if !math.IsInf(c, 1) {
+			n++
+		}
+	}
+	return n
+}
+
+// StallEnd returns the time rank r can next make progress from t: if t
+// falls inside a stall window the end of that window (chaining through
+// back-to-back windows), otherwise t itself.
+func (in *Injector) StallEnd(r int, t float64) float64 {
+	for _, s := range in.stalls[r] {
+		if s.At <= t && t < s.At+s.Duration {
+			t = s.At + s.Duration
+		}
+	}
+	return t
+}
+
+// ExtendForStalls stretches an execution interval [start, end) by every
+// stall window opening inside it: the rank freezes mid-task and resumes,
+// so the work finishes late by the summed stall durations. Callers align
+// start with StallEnd first so start itself is never inside a window.
+func (in *Injector) ExtendForStalls(r int, start, end float64) float64 {
+	for _, s := range in.stalls[r] {
+		if s.At >= start && s.At < end {
+			end += s.Duration
+		}
+	}
+	return end
+}
+
+// Links returns the per-message fault filter, or nil when the plan has no
+// link faults. A nil *LinkFilter is valid: its methods report clean
+// delivery.
+func (in *Injector) Links() *LinkFilter { return in.links }
+
+// Verdict is the fate of one message.
+type Verdict int
+
+const (
+	// Deliver: the message arrives normally.
+	Deliver Verdict = iota
+	// Drop: the message is silently lost.
+	Drop
+	// Duplicate: the message arrives twice.
+	Duplicate
+	// Delayed: the message arrives late by DelayTime.
+	Delayed
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Delayed:
+		return "delayed"
+	}
+	return "deliver"
+}
+
+// LinkFilter classifies messages. The fate of the seq-th message on the
+// directed link src→dst is a pure hash of (seed, src, dst, seq) — no
+// mutable stream — so concurrent runtimes (internal/mp) and sequential
+// simulators draw identical verdicts for the same message identity
+// regardless of arrival order.
+type LinkFilter struct {
+	LinkFaults
+}
+
+// Fate classifies the seq-th message from src to dst. Nil-safe.
+func (f *LinkFilter) Fate(src, dst, seq int) Verdict {
+	if f == nil || !f.enabled() {
+		return Deliver
+	}
+	u := f.uniform(src, dst, seq, 0)
+	switch {
+	case u < f.Drop:
+		return Drop
+	case u < f.Drop+f.Duplicate:
+		return Duplicate
+	case u < f.Drop+f.Duplicate+f.Delay:
+		return Delayed
+	}
+	return Deliver
+}
+
+// DelayTime returns the extra latency of a delayed message: exponential
+// with mean DelayMean, drawn from an independent hash stream so it never
+// correlates with the fate draw.
+func (f *LinkFilter) DelayTime(src, dst, seq int) float64 {
+	if f == nil || f.DelayMean <= 0 {
+		return 0
+	}
+	u := f.uniform(src, dst, seq, 1)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) * f.DelayMean
+}
+
+// uniform hashes (seed, src, dst, seq, stream) to [0,1) — the same
+// splitmix-style mix the cluster throttling model uses.
+func (f *LinkFilter) uniform(src, dst, seq, stream int) float64 {
+	h := uint64(f.Seed)*0x9e3779b97f4a7c15 +
+		uint64(src)*0xbf58476d1ce4e5b9 +
+		uint64(dst)*0x94d049bb133111eb +
+		uint64(seq)*0x2545f4914f6cdd1d +
+		uint64(stream)*0xff51afd7ed558ccd
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	h *= 0xc2b2ae3d27d4eb4f
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	spec := Spec{
+		Ranks: 32, Horizon: 1.0,
+		CrashProb: 0.3, StallProb: 0.4, StallMean: 0.02,
+		Drop: 0.05, Duplicate: 0.02, Delay: 0.03, DelayMean: 1e-4,
+		Seed: 17,
+	}
+	p1, p2 := spec.Build(), spec.Build()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("identical specs built different plans:\n%+v\n%+v", p1, p2)
+	}
+	spec.Seed = 18
+	if reflect.DeepEqual(p1, spec.Build()) {
+		t.Fatal("different seeds built identical plans — seed is not plumbed")
+	}
+}
+
+func TestSpecStallDrawsDoNotPerturbCrashes(t *testing.T) {
+	base := Spec{Ranks: 16, Horizon: 1, CrashProb: 0.5, Seed: 9}
+	withStalls := base
+	withStalls.StallProb, withStalls.StallMean = 0.5, 0.01
+	if !reflect.DeepEqual(base.Build().Crashes, withStalls.Build().Crashes) {
+		t.Fatal("enabling stalls changed the crash schedule of the same seed")
+	}
+}
+
+func TestInjectorCrashQueries(t *testing.T) {
+	in := NewInjector(&Plan{Crashes: []Crash{{Rank: 2, At: 0.5}, {Rank: 2, At: 0.3}}}, 4)
+	if got := in.CrashTime(2); got != 0.3 {
+		t.Fatalf("duplicate crash should keep the earliest: got %v", got)
+	}
+	if !math.IsInf(in.CrashTime(0), 1) {
+		t.Fatal("rank 0 should never crash")
+	}
+	if !in.AliveAt(2, 0.29) || in.AliveAt(2, 0.3) {
+		t.Fatal("AliveAt must be exclusive at the crash instant")
+	}
+	if in.NumCrashes() != 1 {
+		t.Fatalf("NumCrashes = %d, want 1", in.NumCrashes())
+	}
+}
+
+func TestInjectorStallWindows(t *testing.T) {
+	// Exactly-representable binary fractions so equality checks are exact.
+	in := NewInjector(&Plan{Stalls: []Stall{
+		{Rank: 1, At: 0.5, Duration: 0.125},
+		{Rank: 1, At: 0.25, Duration: 0.125},
+		{Rank: 1, At: 0.625, Duration: 0.0625}, // chains off the first window
+	}}, 2)
+	if got := in.StallEnd(1, 0.3125); got != 0.375 {
+		t.Fatalf("StallEnd inside a window = %v, want 0.375", got)
+	}
+	if got := in.StallEnd(1, 0.5625); got != 0.6875 {
+		t.Fatalf("StallEnd must chain back-to-back windows: got %v, want 0.6875", got)
+	}
+	if got := in.StallEnd(1, 0.4375); got != 0.4375 {
+		t.Fatalf("StallEnd outside a window must be identity: got %v", got)
+	}
+	if got := in.StallEnd(0, 0.3125); got != 0.3125 {
+		t.Fatalf("other ranks must be unaffected: got %v", got)
+	}
+	// A stall opening mid-task stretches the task by its duration, and the
+	// stretched window can swallow later stalls in turn: the 0.5 stall
+	// pushes the end to 0.6875, which now covers the 0.625 stall.
+	if got := in.ExtendForStalls(1, 0.4375, 0.5625); got != 0.5625+0.125+0.0625 {
+		t.Fatalf("ExtendForStalls = %v, want 0.75", got)
+	}
+	if got := in.ExtendForStalls(1, 0.375, 0.4375); got != 0.4375 {
+		t.Fatalf("ExtendForStalls with no stall inside = %v, want 0.4375", got)
+	}
+}
+
+func TestLinkFilterPureAndSeeded(t *testing.T) {
+	f := &LinkFilter{LinkFaults{Drop: 0.2, Duplicate: 0.1, Delay: 0.1, DelayMean: 1e-4, Seed: 5}}
+	for seq := 0; seq < 100; seq++ {
+		if f.Fate(1, 2, seq) != f.Fate(1, 2, seq) {
+			t.Fatal("Fate is not a pure function of its arguments")
+		}
+		if f.DelayTime(1, 2, seq) != f.DelayTime(1, 2, seq) {
+			t.Fatal("DelayTime is not a pure function of its arguments")
+		}
+	}
+	// The empirical fate mix over many messages should be close to the
+	// configured probabilities.
+	const n = 20000
+	counts := map[Verdict]int{}
+	for seq := 0; seq < n; seq++ {
+		counts[f.Fate(3, 4, seq)]++
+	}
+	for v, want := range map[Verdict]float64{Drop: 0.2, Duplicate: 0.1, Delayed: 0.1, Deliver: 0.6} {
+		got := float64(counts[v]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("fate %v frequency %.3f, want ~%.2f", v, got, want)
+		}
+	}
+	// Different links and different seeds decorrelate.
+	same := 0
+	g := &LinkFilter{LinkFaults{Drop: 0.2, Duplicate: 0.1, Delay: 0.1, Seed: 6}}
+	for seq := 0; seq < n; seq++ {
+		if f.Fate(3, 4, seq) == g.Fate(3, 4, seq) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed does not influence message fates")
+	}
+}
+
+func TestLinkFilterNilSafe(t *testing.T) {
+	var f *LinkFilter
+	if f.Fate(0, 1, 0) != Deliver || f.DelayTime(0, 1, 0) != 0 {
+		t.Fatal("nil filter must report clean delivery")
+	}
+	in := NewInjector(&Plan{}, 3)
+	if in.Links() != nil {
+		t.Fatal("plan without link faults should have a nil filter")
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(&Plan{}).Empty() || !(*Plan)(nil).Empty() {
+		t.Fatal("zero/nil plans must be empty")
+	}
+	if (&Plan{Crashes: []Crash{{Rank: 0, At: 1}}}).Empty() {
+		t.Fatal("plan with a crash is not empty")
+	}
+	if (&Plan{Links: LinkFaults{Drop: 0.1}}).Empty() {
+		t.Fatal("plan with link faults is not empty")
+	}
+}

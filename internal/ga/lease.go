@@ -1,0 +1,117 @@
+package ga
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LeaseCounter is the fault-tolerant cousin of Counter: a shared task
+// dispenser that remembers who it handed each index to, so claimed work
+// can be revoked from a crashed rank and re-issued. It is the concurrent,
+// wall-clock analog of the simulator's lease table (internal/core): the
+// same exactly-once discipline — a completion is accepted only from the
+// current leaseholder, revoked leases reject stale completions — but safe
+// for many goroutine ranks at once.
+type LeaseCounter struct {
+	mu     sync.Mutex
+	n      int
+	next   int    // guarded by mu; next never-issued index
+	holder []int  // guarded by mu; task → current leaseholder (-1 = none)
+	done   []bool // guarded by mu
+	free   []int  // guarded by mu; revoked indices awaiting re-issue (FIFO)
+	left   int    // guarded by mu; tasks not yet completed
+}
+
+// NewLeaseCounter creates a dispenser over tasks 0..n-1.
+func NewLeaseCounter(n int) *LeaseCounter {
+	lc := &LeaseCounter{n: n, holder: make([]int, n), done: make([]bool, n), left: n}
+	for i := range lc.holder {
+		lc.holder[i] = -1
+	}
+	return lc
+}
+
+// Claim leases the next available index to rank r: revoked indices are
+// re-issued before fresh ones. The second result is false when no index
+// is currently available — either all work is done, or every remaining
+// task is leased out (the caller should back off and retry, or steal).
+func (lc *LeaseCounter) Claim(r int) (int, bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for len(lc.free) > 0 {
+		t := lc.free[0]
+		lc.free = lc.free[1:]
+		if lc.done[t] {
+			continue
+		}
+		lc.holder[t] = r
+		return t, true
+	}
+	if lc.next < lc.n {
+		t := lc.next
+		lc.next++
+		lc.holder[t] = r
+		return t, true
+	}
+	return -1, false
+}
+
+// Complete records task t's completion by rank r. It returns true when
+// the completion is accepted, false when r's lease was revoked in the
+// meantime — the caller's result must then be discarded, because the
+// re-issued copy owns the outcome. Completing the same lease twice is a
+// protocol violation and panics.
+func (lc *LeaseCounter) Complete(t, r int) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if t < 0 || t >= lc.n {
+		panic(fmt.Sprintf("ga: complete of task %d of %d", t, lc.n))
+	}
+	if lc.holder[t] != r {
+		return false // revoked: a stale completion, dropped
+	}
+	if lc.done[t] {
+		panic(fmt.Sprintf("ga: task %d completed twice by rank %d", t, r))
+	}
+	lc.done[t] = true
+	lc.left--
+	return true
+}
+
+// Revoke takes every unfinished lease held by rank r back into the free
+// pool and returns how many were reclaimed — the recovery step after r is
+// presumed dead. Safe to call for a rank that holds nothing.
+func (lc *LeaseCounter) Revoke(r int) int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	reclaimed := 0
+	for t := 0; t < lc.n; t++ {
+		if lc.holder[t] == r && !lc.done[t] {
+			lc.holder[t] = -1
+			lc.free = append(lc.free, t)
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
+// Outstanding returns the number of tasks neither completed nor currently
+// available — leased out and in flight.
+func (lc *LeaseCounter) Outstanding() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := 0
+	for t := 0; t < lc.n; t++ {
+		if !lc.done[t] && lc.holder[t] >= 0 {
+			out++
+		}
+	}
+	return out
+}
+
+// Done reports whether every task has completed.
+func (lc *LeaseCounter) Done() bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.left == 0
+}

@@ -1,0 +1,111 @@
+package ga
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLeaseCounterExactlyOnce hammers the dispenser from many goroutine
+// ranks while a "failure detector" concurrently revokes one rank's leases
+// over and over. The exactly-once property must hold anyway: accepted
+// completions cover every task exactly once, even though the victim rank
+// keeps executing and submitting stale results.
+func TestLeaseCounterExactlyOnce(t *testing.T) {
+	const n, ranks = 2000, 8
+	lc := NewLeaseCounter(n)
+	accepted := make([]int64, n)
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	// The detector repeatedly presumes rank 0 dead and reclaims its work.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			lc.Revoke(0)
+		}
+	}()
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			idle := 0
+			for {
+				task, ok := lc.Claim(r)
+				if !ok {
+					if lc.Done() {
+						return
+					}
+					idle++
+					if idle > 1_000_000 {
+						t.Error("livelock: work outstanding but never completing")
+						return
+					}
+					continue
+				}
+				idle = 0
+				if lc.Complete(task, r) {
+					atomic.AddInt64(&accepted[task], 1)
+				}
+			}
+		}(r)
+	}
+	// Stop the detector once the workers drain the pool, then join.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if lc.Done() {
+			stop.Store(true)
+			break
+		}
+		select {
+		case <-done:
+			stop.Store(true)
+		default:
+			continue
+		}
+		break
+	}
+	<-done
+
+	for task, c := range accepted {
+		if c != 1 {
+			t.Fatalf("task %d accepted %d times, want exactly 1", task, c)
+		}
+	}
+	if !lc.Done() || lc.Outstanding() != 0 {
+		t.Fatalf("pool not drained: done=%v outstanding=%d", lc.Done(), lc.Outstanding())
+	}
+}
+
+// TestLeaseCounterRevoke checks the single-threaded revocation contract:
+// revoked work is re-issued before fresh work, stale completions are
+// rejected, and double completion of a live lease panics.
+func TestLeaseCounterRevoke(t *testing.T) {
+	lc := NewLeaseCounter(3)
+	t0, _ := lc.Claim(1)
+	if t0 != 0 {
+		t.Fatalf("first claim = %d, want 0", t0)
+	}
+	if got := lc.Revoke(1); got != 1 {
+		t.Fatalf("Revoke reclaimed %d, want 1", got)
+	}
+	if lc.Complete(t0, 1) {
+		t.Fatal("stale completion after revocation was accepted")
+	}
+	// Re-issue goes to the next claimer, ahead of fresh indices.
+	t1, _ := lc.Claim(2)
+	if t1 != t0 {
+		t.Fatalf("re-claim = %d, want revoked task %d", t1, t0)
+	}
+	if !lc.Complete(t1, 2) {
+		t.Fatal("legitimate completion rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double completion must panic")
+		}
+	}()
+	lc.Complete(t1, 2)
+}

@@ -34,6 +34,7 @@ func NewDeterminism() *Determinism {
 	return &Determinism{
 		Packages: []string{
 			"internal/core",
+			"internal/fault",
 			"internal/ga",
 			"internal/mp",
 			"internal/deque",

@@ -1,0 +1,230 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"execmodels/internal/fault"
+)
+
+// Fault injection for the wall-clock runtime. A World can carry a
+// fault.LinkFilter (the same pure-hash filter the simulator uses) plus a
+// kill switch per rank; plain Send then drops or duplicates application
+// messages, and the reliable layer below — SendReliable/RecvReliable —
+// recovers with acknowledgements, bounded retries with exponential
+// backoff, receiver-side deduplication, and dead-rank detection.
+//
+// Determinism note: message *fates* are pure in (seed, src, dst, seq)
+// because each (src, dst) pair's sequence numbers are assigned in that
+// sender's program order. What stays scheduler-dependent is wall-clock
+// timing (which retry wins a race), exactly as on a real network; the
+// simulator, not this runtime, is the bit-replayable surface. Delay
+// verdicts are treated as plain deliveries here — Go channels provide no
+// deterministic way to hold one message back, so delay modeling lives in
+// the simulator only.
+
+// ErrDeadRank reports that the peer never acknowledged within the retry
+// budget and is presumed dead.
+var ErrDeadRank = errors.New("mp: peer presumed dead (retries exhausted)")
+
+// ErrTimeout reports that RecvTimeout's window elapsed with no matching
+// message.
+var ErrTimeout = errors.New("mp: receive timed out")
+
+// ackBase maps an application tag to its acknowledgement tag. User tags
+// must be >= 0, runtime collectives use -1000..-1002, so acks live at
+// -2000 and below.
+const ackBase = -2000
+
+func ackTag(tag int) int { return ackBase - tag }
+
+// SetFaults installs (or, with nil, removes) a message-fault filter. Only
+// application messages — tag >= 0 — pass through it: collectives and
+// acknowledgements stay reliable, so the fault-tolerance burden sits
+// exactly where the experiments want it, on the task-level protocol.
+func (w *World) SetFaults(links *fault.LinkFilter) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.links = links
+	if w.seq == nil {
+		w.seq = make([][]int, w.P)
+		for i := range w.seq {
+			w.seq[i] = make([]int, w.P)
+		}
+	}
+}
+
+// Kill marks rank r dead: every message addressed to it, on any tag, is
+// silently discarded from now on. The rank's goroutine is not stopped —
+// a killed rank should simply return from its function, as a crashed
+// process would vanish.
+func (w *World) Kill(r int) {
+	if r < 0 || r >= w.P {
+		panic(fmt.Sprintf("mp: kill rank %d of %d", r, w.P))
+	}
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.dead == nil {
+		w.dead = make([]bool, w.P)
+	}
+	w.dead[r] = true
+}
+
+// Alive reports whether rank r has not been killed.
+func (w *World) Alive(r int) bool {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.dead == nil || !w.dead[r]
+}
+
+// Retransmits returns the number of reliable-send retries the world has
+// performed so far.
+func (w *World) Retransmits() int64 {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.retransmits
+}
+
+func (w *World) addRetransmit() {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.retransmits++
+}
+
+// deliveries decides how many copies of a message actually reach dst's
+// inbox: 0 when dst is dead or the filter drops it, 2 when duplicated,
+// 1 otherwise. Runtime-internal tags (< 0) bypass the filter but still
+// vanish at a dead rank.
+func (w *World) deliveries(src, dst, tag int) int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.dead != nil && w.dead[dst] {
+		return 0
+	}
+	if w.links == nil || tag < 0 {
+		return 1
+	}
+	s := w.seq[src][dst]
+	w.seq[src][dst]++
+	switch w.links.Fate(src, dst, s) {
+	case fault.Drop:
+		return 0
+	case fault.Duplicate:
+		return 2
+	default: // Deliver and Delayed; see the package note on delays
+		return 1
+	}
+}
+
+// RecvTimeout is Recv with a deadline: it blocks until a message from src
+// with the given tag arrives (wildcards as in Recv) or the window
+// elapses, returning ErrTimeout in the latter case. Non-matching arrivals
+// are parked exactly as Recv parks them.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (data []float64, from int, err error) {
+	for i, m := range c.pending {
+		if matches(m, src, tag) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m.data, m.from, nil
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case m := <-c.world.inbox[c.rank]:
+			if matches(m, src, tag) {
+				return m.data, m.from, nil
+			}
+			c.pending = append(c.pending, m)
+		case <-timer.C:
+			return nil, 0, ErrTimeout
+		}
+	}
+}
+
+// ReliableOpts tunes the retry protocol; the zero value picks defaults
+// suitable for tests (5ms first timeout, 4 attempts).
+type ReliableOpts struct {
+	Timeout    time.Duration // first-attempt ack timeout (doubles per retry)
+	MaxRetries int           // total send attempts before ErrDeadRank
+}
+
+func (o ReliableOpts) withDefaults() ReliableOpts {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 4
+	}
+	return o
+}
+
+// SendReliable delivers data to dst exactly once despite drops and
+// duplicates: each attempt carries a per-destination message ID, the
+// receiver acknowledges every copy, and the sender retries unacknowledged
+// sends with exponentially growing timeouts. After MaxRetries silent
+// attempts the peer is presumed dead and ErrDeadRank is returned — the
+// caller's cue to reclaim whatever work the peer held.
+func (c *Comm) SendReliable(dst, tag int, data []float64, opts ReliableOpts) error {
+	if tag < 0 {
+		panic(fmt.Sprintf("mp: reliable send needs a user tag >= 0, got %d", tag))
+	}
+	opts = opts.withDefaults()
+	if c.nextID == nil {
+		c.nextID = make([]int64, c.world.P)
+	}
+	id := c.nextID[dst]
+	c.nextID[dst]++
+	payload := append([]float64{float64(id)}, data...)
+
+	to := opts.Timeout
+	for attempt := 0; attempt < opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.world.addRetransmit()
+		}
+		c.Send(dst, tag, payload)
+		for {
+			ack, _, err := c.RecvTimeout(dst, ackTag(tag), to)
+			if err != nil {
+				break // timed out: retry the send
+			}
+			if len(ack) == 1 && int64(ack[0]) == id {
+				return nil
+			}
+			// A stale ack for an earlier (duplicated) message; keep
+			// draining within this attempt's window.
+		}
+		to *= 2
+	}
+	return ErrDeadRank
+}
+
+// RecvReliable receives the next application message from src (wildcard
+// allowed) on tag, acknowledging every copy and discarding duplicates, so
+// each SendReliable is delivered to the caller exactly once.
+func (c *Comm) RecvReliable(src, tag int) (data []float64, from int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mp: reliable recv needs a user tag >= 0, got %d", tag))
+	}
+	if c.seen == nil {
+		c.seen = make([]map[int64]bool, c.world.P)
+	}
+	for {
+		m, f := c.Recv(src, tag)
+		if len(m) < 1 {
+			panic("mp: reliable message missing its ID header")
+		}
+		id := int64(m[0])
+		// Acknowledge every copy: the first ack may have raced a retry.
+		c.Send(f, ackTag(tag), []float64{float64(id)})
+		if c.seen[f] == nil {
+			c.seen[f] = make(map[int64]bool)
+		}
+		if c.seen[f][id] {
+			continue // duplicate of an already-delivered message
+		}
+		c.seen[f][id] = true
+		return m[1:], f
+	}
+}

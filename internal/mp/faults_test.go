@@ -1,0 +1,151 @@
+package mp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"execmodels/internal/fault"
+)
+
+// TestReliableDeliveryUnderDrops pushes a message stream through a very
+// lossy link and checks the reliable layer's contract: every payload
+// arrives exactly once, in order, and the recovery is visible as
+// retransmissions.
+func TestReliableDeliveryUnderDrops(t *testing.T) {
+	const n = 60
+	w := NewWorld(2)
+	w.SetFaults(&fault.LinkFilter{LinkFaults: fault.LinkFaults{Drop: 0.3, Seed: 7}})
+
+	var got [][]float64
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				// A generous retry budget: at 30% drop, 12 attempts make a
+				// spurious ErrDeadRank (which would strand the receiver and
+				// deadlock the test) astronomically unlikely.
+				opts := ReliableOpts{Timeout: 2 * time.Millisecond, MaxRetries: 12}
+				if err := c.SendReliable(1, 5, []float64{float64(i), float64(2 * i)}, opts); err != nil {
+					t.Errorf("send %d: %v", i, err)
+					return
+				}
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				data, from := c.RecvReliable(0, 5)
+				if from != 0 {
+					t.Errorf("message %d from rank %d, want 0", i, from)
+				}
+				got = append(got, data)
+			}
+		}
+	})
+
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want %d", len(got), n)
+	}
+	for i, d := range got {
+		if len(d) != 2 || d[0] != float64(i) || d[1] != float64(2*i) {
+			t.Fatalf("message %d corrupted or out of order: %v", i, d)
+		}
+	}
+	if w.Retransmits() == 0 {
+		t.Error("30% drop rate produced no retransmissions; the filter is not wired into Send")
+	}
+}
+
+// TestReliableDedupUnderDuplicates turns on duplication only and checks
+// the receiver-side dedup: each message is delivered to the caller once
+// even though copies reach the inbox.
+func TestReliableDedupUnderDuplicates(t *testing.T) {
+	const n = 40
+	w := NewWorld(2)
+	w.SetFaults(&fault.LinkFilter{LinkFaults: fault.LinkFaults{Duplicate: 0.5, Seed: 3}})
+
+	count := 0
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				if err := c.SendReliable(1, 9, []float64{float64(i)}, ReliableOpts{}); err != nil {
+					t.Errorf("send %d: %v", i, err)
+					return
+				}
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				data, _ := c.RecvReliable(0, 9)
+				if data[0] != float64(i) {
+					t.Errorf("message %d carries %v", i, data)
+				}
+				count++
+			}
+		}
+	})
+	if count != n {
+		t.Fatalf("delivered %d, want exactly %d", count, n)
+	}
+}
+
+// TestDeadRankDetection kills a rank and checks both failure surfaces: a
+// reliable send into the void returns ErrDeadRank after its retry budget,
+// and a plain receive from the void times out instead of hanging.
+func TestDeadRankDetection(t *testing.T) {
+	w := NewWorld(2)
+	w.Kill(1)
+	if w.Alive(1) || !w.Alive(0) {
+		t.Fatal("Kill(1) did not register")
+	}
+
+	w.Run(func(c *Comm) {
+		if c.Rank() != 0 {
+			return // rank 1 crashed: its goroutine just returns
+		}
+		err := c.SendReliable(1, 3, []float64{1}, ReliableOpts{Timeout: time.Millisecond, MaxRetries: 3})
+		if !errors.Is(err, ErrDeadRank) {
+			t.Errorf("SendReliable to a dead rank = %v, want ErrDeadRank", err)
+		}
+		if _, _, err := c.RecvTimeout(1, 3, 2*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("RecvTimeout from a dead rank = %v, want ErrTimeout", err)
+		}
+	})
+}
+
+// TestRecvTimeoutDelivers checks the success path: a message that does
+// arrive within the window is returned, and out-of-tag arrivals are
+// parked for later exactly as Recv parks them.
+func TestRecvTimeoutDelivers(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 8, []float64{7}) // wrong tag first: must be parked
+			c.Send(1, 4, []float64{42})
+		case 1:
+			data, from, err := c.RecvTimeout(0, 4, time.Second)
+			if err != nil || from != 0 || len(data) != 1 || data[0] != 42 {
+				t.Errorf("RecvTimeout = %v, %d, %v", data, from, err)
+			}
+			data, _ = c.Recv(0, 8)
+			if data[0] != 7 {
+				t.Errorf("parked message lost: %v", data)
+			}
+		}
+	})
+}
+
+// TestCollectivesUnaffectedByFaults runs a barrier+allreduce under an
+// aggressive filter: internal tags bypass the faults, so the collectives
+// must still complete and agree.
+func TestCollectivesUnaffectedByFaults(t *testing.T) {
+	w := NewWorld(4)
+	w.SetFaults(&fault.LinkFilter{LinkFaults: fault.LinkFaults{Drop: 0.5, Seed: 1}})
+	w.Run(func(c *Comm) {
+		c.Barrier()
+		sum := c.AllReduceSum([]float64{float64(c.Rank())})
+		if sum[0] != 6 { // 0+1+2+3
+			t.Errorf("rank %d: allreduce under faults = %v, want 6", c.Rank(), sum[0])
+		}
+	})
+}

@@ -13,6 +13,8 @@ package mp
 import (
 	"fmt"
 	"sync"
+
+	"execmodels/internal/fault"
 )
 
 // message is one point-to-point payload in flight.
@@ -29,6 +31,14 @@ type World struct {
 	inbox []chan message
 
 	barrier *barrier
+
+	// Fault-injection state; see faults.go. All access goes through World
+	// methods so the lock discipline is auditable in one file.
+	fmu         sync.Mutex
+	links       *fault.LinkFilter // guarded by fmu
+	dead        []bool            // guarded by fmu
+	seq         [][]int           // guarded by fmu; per (src,dst) message sequence
+	retransmits int64             // guarded by fmu
 }
 
 // NewWorld creates a world with p ranks.
@@ -66,6 +76,12 @@ type Comm struct {
 	// pending holds messages received out of order (wrong tag/source),
 	// parked until a matching Recv arrives.
 	pending []message
+
+	// Reliable-delivery state (see faults.go): per-destination message IDs
+	// and per-source dedup sets. A Comm belongs to one goroutine, so these
+	// need no lock.
+	nextID []int64
+	seen   []map[int64]bool
 }
 
 // Rank returns this rank's index.
@@ -75,14 +91,19 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.P }
 
 // Send delivers data to rank dst under the given tag. The data slice is
-// copied, so the caller may reuse it immediately.
+// copied, so the caller may reuse it immediately. When a fault filter is
+// installed (see SetFaults), application messages — tag >= 0 — may be
+// dropped or duplicated; runtime-internal tags are never faulted.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.world.P {
 		panic(fmt.Sprintf("mp: send to rank %d of %d", dst, c.world.P))
 	}
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	c.world.inbox[dst] <- message{from: c.rank, tag: tag, data: cp}
+	copies := c.world.deliveries(c.rank, dst, tag)
+	for i := 0; i < copies; i++ {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		c.world.inbox[dst] <- message{from: c.rank, tag: tag, data: cp}
+	}
 }
 
 // Recv blocks until a message from rank src with the given tag arrives

@@ -234,3 +234,103 @@ func TestSpeedup(t *testing.T) {
 		}
 	}
 }
+
+// --- edge cases: empty, single-sample, and NaN-freedom guarantees ---
+
+// TestEmptyInputsPanic pins down the contract that every sample-taking
+// entry point rejects an empty sample loudly instead of returning NaNs
+// that would silently poison a results table.
+func TestEmptyInputsPanic(t *testing.T) {
+	cases := map[string]func(){
+		"Percentile":    func() { Percentile(nil, 50) },
+		"Gini":          func() { Gini(nil) },
+		"LoadImbalance": func() { LoadImbalance(nil) },
+		"JainFairness":  func() { JainFairness(nil) },
+		"Histogram":     func() { Histogram(nil, 4) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSingleSample checks the n=1 degenerate cases: percentiles collapse
+// to the value, spread metrics to zero, fairness to perfect.
+func TestSingleSample(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("Summarize([7]) = %+v", s)
+	}
+	if s.Std != 0 || s.CoefficientOfVar != 0 || s.Gini != 0 {
+		t.Fatalf("single sample has nonzero spread: %+v", s)
+	}
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Fatalf("single-sample percentiles: %+v", s)
+	}
+	if got := Percentile([]float64{7}, 0); got != 7 {
+		t.Fatalf("P0 of [7] = %v", got)
+	}
+	if got := Percentile([]float64{7}, 100); got != 7 {
+		t.Fatalf("P100 of [7] = %v", got)
+	}
+	if got := LoadImbalance([]float64{7}); got != 1 {
+		t.Fatalf("LoadImbalance of one rank = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{7}); got != 1 {
+		t.Fatalf("JainFairness of one rank = %v, want 1", got)
+	}
+}
+
+// TestZeroSamplesNaNFree checks the all-zero guards: idle-rank metric
+// vectors (all busy times zero) must yield defined values, never NaN
+// from 0/0.
+func TestZeroSamplesNaNFree(t *testing.T) {
+	zeros := []float64{0, 0, 0, 0}
+	s := Summarize(zeros)
+	if s.Mean != 0 || s.MaxOverMean != 0 || s.CoefficientOfVar != 0 || s.Gini != 0 {
+		t.Fatalf("Summarize(zeros) = %+v", s)
+	}
+	if got := LoadImbalance(zeros); got != 0 {
+		t.Fatalf("LoadImbalance(zeros) = %v", got)
+	}
+	if got := JainFairness(zeros); got != 1 {
+		t.Fatalf("JainFairness(zeros) = %v, want 1 (vacuously fair)", got)
+	}
+	if got := Gini(zeros); got != 0 {
+		t.Fatalf("Gini(zeros) = %v", got)
+	}
+}
+
+// TestSummarizeNaNFreeProperty fuzzes Summarize over random non-negative
+// samples (the domain our per-rank metrics live in) and asserts no field
+// ever comes back NaN or infinite.
+func TestSummarizeNaNFreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.Intn(4) == 0 {
+				xs[i] = 0 // sprinkle exact zeros: idle ranks are common
+			} else {
+				xs[i] = math.Exp(rng.NormFloat64() * 3)
+			}
+		}
+		s := Summarize(xs)
+		for name, v := range map[string]float64{
+			"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "Max": s.Max,
+			"P50": s.P50, "P90": s.P90, "P99": s.P99,
+			"MaxOverMean": s.MaxOverMean, "CoV": s.CoefficientOfVar, "Gini": s.Gini,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("trial %d: %s = %v for %v", trial, name, v, xs)
+			}
+		}
+	}
+}
