@@ -28,11 +28,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		gantt     = flag.String("gantt", "", "render an execution timeline for the given model (e.g. work-stealing) instead of running experiments")
-		ranks     = flag.Int("ranks", 8, "rank count for -gantt")
+		ranks     = flag.Int("ranks", 8, "rank count for -gantt and -metrics")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 		chromeOut = flag.String("chrome", "", "with -gantt: write a Chrome trace-event JSON to this file instead of text")
 		dump      = flag.String("dump", "", "write the suite's chemistry workload as JSON to this file and exit")
 		svgDir    = flag.String("svg", "", "render the figure experiments (F2-F7) as SVG charts into this directory and exit")
+		metrics   = flag.String("metrics", "", "run every model at -ranks and write OpenMetrics dumps, JSON summaries and blame tables into this directory, then exit")
 	)
 	flag.Parse()
 
@@ -55,6 +56,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s-scale chemistry workload to %s\n", *scale, *dump)
+		return
+	}
+	if *metrics != "" {
+		if err := s.WriteMetrics(*metrics, *ranks); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote per-model metrics, summaries and blame tables to %s (P=%d)\n", *metrics, *ranks)
 		return
 	}
 	if *svgDir != "" {

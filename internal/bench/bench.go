@@ -200,6 +200,7 @@ var registry = map[string]func(*Suite) *Table{
 	"F8": (*Suite).Figure8,
 	"F9": (*Suite).Figure9,
 	"T8": (*Suite).Table8,
+	"T9": (*Suite).Table9,
 }
 
 // Known reports whether id names a registered experiment — the fail-fast

@@ -1,0 +1,15 @@
+package cluster
+
+import "execmodels/internal/obs"
+
+// Interval and Trace are aliases of the observability layer's span types:
+// tracing logic (recording, activity totals, Gantt rendering, the Chrome
+// trace-event and OpenMetrics exporters) lives in internal/obs, while the
+// executors keep their historical cluster.Interval/cluster.Trace spelling.
+type (
+	// Interval is one contiguous span of rank activity, for traces.
+	Interval = obs.Span
+	// Trace records what each rank did when. It is optional: executors
+	// accept a nil *Trace.
+	Trace = obs.Trace
+)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"execmodels/internal/cluster"
+	"execmodels/internal/obs"
 	"execmodels/internal/semimatching"
 )
 
@@ -112,16 +113,16 @@ func (p CheckpointedPersistence) RunWithHistory(w *Workload, m *cluster.Machine)
 					lt.start(id, r)
 					end, ok := m.TaskTimeFaulty(r, task.Cost, clock[r])
 					m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: end, TaskID: id, Activity: "task"})
-					res.BusyTime[r] += end - clock[r]
+					res.addBusy(r, end-clock[r])
 					taskTime[id] = end - clock[r]
 					clock[r] = end
 					if !ok {
 						newlyDead = append(newlyDead, r)
-						res.Crashes++
+						res.count(obs.CCrashes, r, 1)
 						res.FinishTime[r] = end
 						break
 					}
-					res.TasksRun[r]++
+					res.ranTask(r)
 					clock[r] = chargeComm(res, w, m, seen, r, task, clock[r])
 					lt.complete(id, r)
 					completed = append(completed, id)
@@ -140,10 +141,16 @@ func (p CheckpointedPersistence) RunWithHistory(w *Workload, m *cluster.Machine)
 					measured[i] = taskTime[i]
 				}
 				haveMeasured = true
+				// Every survivor writes its checkpoint shard after the
+				// barrier: checkpoint cost is charged per rank, in step
+				// with the blame decomposition's rank-seconds.
 				ck := m.XferTime(ckptBytes)
-				res.CheckpointTime += ck
+				for _, r := range alive {
+					m.Trace.Record(cluster.Interval{Rank: r, Start: bar, End: bar + ck, TaskID: -1, Activity: "checkpoint"})
+					res.addTime(obs.MCheckpoint, r, ck)
+				}
 				offset = bar + ck
-				res.ReExecuted += lt.reexec
+				res.count(obs.CReExecuted, 0, int64(lt.reexec))
 				lt.audit()
 				break
 			}
@@ -170,15 +177,20 @@ func (p CheckpointedPersistence) RunWithHistory(w *Workload, m *cluster.Machine)
 			}
 			detectAt := bar + detect
 			for _, r := range newlyDead {
-				res.DetectLatency += detectAt - m.CrashTime(r)
-				res.LostTasks += len(lt.lost(r))
+				res.addTime(obs.MDetect, r, detectAt-m.CrashTime(r))
+				res.count(obs.CLostTasks, r, int64(len(lt.lost(r))))
 			}
 			lt.rollback(completed)
+			// Survivors stall until detection completes (recovery), then
+			// re-read the checkpoint (restore). Splitting the two windows
+			// keeps the blame components disjoint — the old accounting
+			// charged the restore to both buckets.
 			restore := m.XferTime(ckptBytes)
-			res.CheckpointTime += restore
 			for _, r := range next {
-				m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: detectAt + restore, TaskID: -1, Activity: "recover"})
-				res.RecoveryTime += detectAt + restore - clock[r]
+				m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: detectAt, TaskID: -1, Activity: "recover"})
+				res.addTime(obs.MRecover, r, detectAt-clock[r])
+				m.Trace.Record(cluster.Interval{Rank: r, Start: detectAt, End: detectAt + restore, TaskID: -1, Activity: "checkpoint"})
+				res.addTime(obs.MCheckpoint, r, restore)
 			}
 			alive = next
 			offset = detectAt + restore

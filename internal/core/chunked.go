@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"execmodels/internal/cluster"
+	"execmodels/internal/obs"
 )
 
 // ChunkPolicy computes how many task indices a rank claims per counter
@@ -111,6 +112,8 @@ func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
 		}
 		chunk := policy.NextChunk(remaining, m.P)
 		old, done := counter.FetchAdd(ev.time, int64(chunk))
+		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: done, TaskID: -1, Activity: "counter"})
+		res.addTime(obs.MCounter, r, done-ev.time)
 		if old >= n {
 			res.FinishTime[r] = done
 			continue
@@ -119,9 +122,10 @@ func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
 		for i := old; i < old+int64(chunk) && i < n; i++ {
 			task := &w.Tasks[i]
 			dt := m.TaskTimeAt(r, task.Cost, t)
-			res.BusyTime[r] += dt
+			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + dt, TaskID: task.ID, Activity: "task"})
+			res.addBusy(r, dt)
 			t += dt
-			res.TasksRun[r]++
+			res.ranTask(r)
 			for _, b := range task.Blocks {
 				owner := blockOwner(b, m.P)
 				if owner == r || seen[r][b] {
@@ -129,14 +133,15 @@ func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
 				}
 				seen[r][b] = true
 				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-				res.CommTime[r] += ct
+				m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+				res.addComm(r, ct, w.BlockBytes[b])
 				t += ct
 			}
 		}
 		heap.Push(&h, rankEvent{rank: r, time: t})
 	}
-	res.CounterOps = counter.Ops()
-	res.CounterWait = counter.TotalWait()
+	res.count(obs.CCounterOps, 0, counter.Ops())
+	res.addTime(obs.MCounterWait, 0, counter.TotalWait())
 	res.finalize()
 	return res
 }
@@ -182,6 +187,8 @@ func (p PersistenceSM) RunWithHistory(w *Workload, m *cluster.Machine) (*Result,
 	var history []float64
 	var res *Result
 	for it := 0; it < iters; it++ {
+		// Fresh virtual clocks each iteration; keep the trace in step.
+		m.Trace.Reset()
 		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
 		history = append(history, res.Makespan)
 		if it == iters-1 {

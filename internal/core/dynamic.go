@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"execmodels/internal/cluster"
+	"execmodels/internal/obs"
 )
 
 // rankHeap orders ranks by their next event time.
@@ -70,6 +71,7 @@ func (d DynamicCounter) Run(w *Workload, m *cluster.Machine) *Result {
 		r := ev.rank
 		old, done := counter.FetchAdd(ev.time, int64(chunk))
 		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: done, TaskID: -1, Activity: "counter"})
+		res.addTime(obs.MCounter, r, done-ev.time)
 		if old >= n {
 			res.FinishTime[r] = done
 			continue
@@ -79,9 +81,9 @@ func (d DynamicCounter) Run(w *Workload, m *cluster.Machine) *Result {
 			task := &w.Tasks[i]
 			dt := m.TaskTimeAt(r, task.Cost, t)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + dt, TaskID: task.ID, Activity: "task"})
-			res.BusyTime[r] += dt
+			res.addBusy(r, dt)
 			t += dt
-			res.TasksRun[r]++
+			res.ranTask(r)
 			for _, b := range task.Blocks {
 				owner := blockOwner(b, m.P)
 				if owner == r || seen[r][b] {
@@ -89,14 +91,15 @@ func (d DynamicCounter) Run(w *Workload, m *cluster.Machine) *Result {
 				}
 				seen[r][b] = true
 				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-				res.CommTime[r] += ct
+				m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+				res.addComm(r, ct, w.BlockBytes[b])
 				t += ct
 			}
 		}
 		heap.Push(&h, rankEvent{rank: r, time: t})
 	}
-	res.CounterOps = counter.Ops()
-	res.CounterWait = counter.TotalWait()
+	res.count(obs.CCounterOps, 0, counter.Ops())
+	res.addTime(obs.MCounterWait, 0, counter.TotalWait())
 	res.finalize()
 	return res
 }

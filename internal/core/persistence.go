@@ -54,6 +54,9 @@ func (p Persistence) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, [
 	var history []float64
 	var res *Result
 	for it := 0; it < iters; it++ {
+		// Each iteration restarts the virtual clocks at zero; reset the
+		// trace so it describes the same (final) iteration the Result does.
+		m.Trace.Reset()
 		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
 		history = append(history, res.Makespan)
 		if it == iters-1 {
@@ -67,6 +70,8 @@ func (p Persistence) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, [
 }
 
 // runAssignmentMeasuring is runAssignment plus per-task time capture.
+// Each call describes one fresh iteration starting at virtual time zero,
+// so callers iterating must Reset the machine trace between calls.
 func runAssignmentMeasuring(model string, w *Workload, m *cluster.Machine, assign []int, measured []float64) *Result {
 	res := newResult(model, m.P)
 	seen := make([]map[int]bool, m.P)
@@ -78,9 +83,10 @@ func runAssignmentMeasuring(model string, w *Workload, m *cluster.Machine, assig
 		r := assign[i]
 		dt := m.TaskTimeAt(r, t.Cost, clock[r])
 		measured[i] = dt
-		res.BusyTime[r] += dt
+		m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + dt, TaskID: t.ID, Activity: "task"})
+		res.addBusy(r, dt)
 		clock[r] += dt
-		res.TasksRun[r]++
+		res.ranTask(r)
 		for _, b := range t.Blocks {
 			owner := blockOwner(b, m.P)
 			if owner == r || seen[r][b] {
@@ -88,7 +94,8 @@ func runAssignmentMeasuring(model string, w *Workload, m *cluster.Machine, assig
 			}
 			seen[r][b] = true
 			ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-			res.CommTime[r] += ct
+			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+			res.addComm(r, ct, w.BlockBytes[b])
 			clock[r] += ct
 		}
 	}

@@ -3,10 +3,12 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"execmodels/internal/cluster"
 	"execmodels/internal/fault"
+	"execmodels/internal/obs"
 )
 
 // Resilient execution models: the same scheduling strategies as their
@@ -48,8 +50,8 @@ func chargeComm(res *Result, w *Workload, m *cluster.Machine, seen []map[int]boo
 		}
 		seen[r][b] = true
 		ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: now + ct, TaskID: -1, Activity: "comm"})
-		res.CommTime[r] += ct
+		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: now + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+		res.addComm(r, ct, w.BlockBytes[b])
 		now += ct
 	}
 	return now
@@ -108,16 +110,16 @@ func (rs ResilientStatic) Run(w *Workload, m *cluster.Machine) *Result {
 				lt.start(id, r)
 				end, ok := m.TaskTimeFaulty(r, task.Cost, clock[r])
 				m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: end, TaskID: id, Activity: "task"})
-				res.BusyTime[r] += end - clock[r]
+				res.addBusy(r, end-clock[r])
 				clock[r] = end
 				if !ok {
 					// Fail-stop mid-task: the interrupted task and the rest
 					// of the list die with the rank.
 					crashed[r] = true
-					res.Crashes++
+					res.count(obs.CCrashes, r, 1)
 					break
 				}
-				res.TasksRun[r]++
+				res.ranTask(r)
 				clock[r] = chargeComm(res, w, m, seen, r, task, clock[r])
 				lt.complete(id, r)
 				pending[r] = pending[r][1:]
@@ -139,7 +141,9 @@ func (rs ResilientStatic) Run(w *Workload, m *cluster.Machine) *Result {
 		var lost []int
 		for r := 0; r < m.P; r++ {
 			if crashed[r] {
-				lost = append(lost, lt.lost(r)...)
+				l := lt.lost(r)
+				res.count(obs.CLostTasks, r, int64(len(l)))
+				lost = append(lost, l...)
 				pending[r] = nil
 			}
 		}
@@ -161,10 +165,9 @@ func (rs ResilientStatic) Run(w *Workload, m *cluster.Machine) *Result {
 			if crashed[r] && !detected[r] {
 				detected[r] = true
 				res.FinishTime[r] = clock[r]
-				res.DetectLatency += detectAt - m.CrashTime(r)
+				res.addTime(obs.MDetect, r, detectAt-m.CrashTime(r))
 			}
 		}
-		res.LostTasks += len(lost)
 		counts := make(map[int]int, len(survivors))
 		for i, id := range lost {
 			r := survivors[i%len(survivors)]
@@ -175,11 +178,11 @@ func (rs ResilientStatic) Run(w *Workload, m *cluster.Machine) *Result {
 		for _, r := range survivors {
 			restart := detectAt + m.XferTime(descriptorBytes*counts[r])
 			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: restart, TaskID: -1, Activity: "recover"})
-			res.RecoveryTime += restart - clock[r]
+			res.addTime(obs.MRecover, r, restart-clock[r])
 			clock[r] = restart
 		}
 	}
-	res.ReExecuted = lt.reexec
+	res.count(obs.CReExecuted, 0, int64(lt.reexec))
 	res.CompletedBy = lt.completedBy
 	lt.audit()
 	res.finalize()
@@ -260,17 +263,20 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 		if ev.time >= crashT {
 			// Died while idle or between operations; survivors will notice.
 			crashed[r] = true
-			res.Crashes++
+			res.count(obs.CCrashes, r, 1)
 			res.FinishTime[r] = crashT
 			continue
 		}
 		now := m.StallEnd(r, ev.time)
 		if now > ev.time {
-			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: now, TaskID: -1, Activity: "stall"})
+			// A rank that dies mid-stall only stalls until its crash time.
+			stallEnd := math.Min(now, crashT)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: stallEnd, TaskID: -1, Activity: "stall"})
+			res.addTime(obs.MStall, r, stallEnd-ev.time)
 		}
 		if now >= crashT {
 			crashed[r] = true
-			res.Crashes++
+			res.count(obs.CCrashes, r, 1)
 			res.FinishTime[r] = crashT
 			continue
 		}
@@ -282,16 +288,16 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 			lt.start(id, r)
 			end, ok := m.TaskTimeFaulty(r, task.Cost, now)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: end, TaskID: id, Activity: "task"})
-			res.BusyTime[r] += end - now
+			res.addBusy(r, end-now)
 			if !ok {
 				// Fail-stop mid-task: the in-flight lease and the queue
 				// residue stay with the corpse until reclaimed.
 				crashed[r] = true
-				res.Crashes++
+				res.count(obs.CCrashes, r, 1)
 				res.FinishTime[r] = end
 				continue
 			}
-			res.TasksRun[r]++
+			res.ranTask(r)
 			t := chargeComm(res, w, m, seen, r, task, end)
 			if lt.holder[id] == r {
 				lt.complete(id, r)
@@ -314,20 +320,22 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 		if victim < 0 {
 			// Everyone else is presumed dead but work remains in flight
 			// (a false positive is executing it); poll again later.
-			res.Retransmits++
+			res.count(obs.CRetransmits, r, 1)
 			heap.Push(&h, rankEvent{rank: r, time: now + detect})
 			continue
 		}
 
 		var t float64
 		if m.CrashTime(victim) <= now {
-			// Dead victim: the probe goes unanswered and times out.
+			// Dead victim: the probe goes unanswered and times out. The
+			// whole window — timeout plus reclamation — is recovery work,
+			// not steal protocol (charging both double-counted it before).
 			t = now + detect
-			res.Retransmits++
+			res.count(obs.CRetransmits, r, 1)
 			if !deadKnown[victim] {
 				t = rs.reclaim(res, m, lt, queues, deadKnown, victim, r, now, t)
 			}
-			res.StealTime += t - now
+			res.addTime(obs.MRecover, r, t-now)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: t, TaskID: -1, Activity: "recover"})
 			heap.Push(&h, rankEvent{rank: r, time: t})
 			continue
@@ -338,11 +346,17 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 		t, delivered := probe(links, m, r, victim, now, &seq[r], rpcTO, maxRetry, res)
 		if !delivered {
 			// Retries exhausted: presume the victim dead even though it is
-			// not — the lease transfer keeps this safe.
+			// not — the lease transfer keeps this safe. The exhausted
+			// probes [now, t] are steal protocol; the reclamation after
+			// them is recovery.
+			res.addTime(obs.MSteal, r, t-now)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: t, TaskID: -1, Activity: "steal"})
 			if !deadKnown[victim] {
-				t = rs.reclaim(res, m, lt, queues, deadKnown, victim, r, now, t)
+				probeEnd := t
+				t = rs.reclaim(res, m, lt, queues, deadKnown, victim, r, probeEnd, probeEnd)
+				res.addTime(obs.MRecover, r, t-probeEnd)
+				m.Trace.Record(cluster.Interval{Rank: r, Start: probeEnd, End: t, TaskID: -1, Activity: "recover"})
 			}
-			res.StealTime += t - now
 			heap.Push(&h, rankEvent{rank: r, time: t})
 			continue
 		}
@@ -357,25 +371,25 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 				lt.claim(id, r)
 			}
 			queues[r] = append(queues[r], loot...)
-			res.Steals++
+			res.count(obs.CSteals, r, 1)
 			if !m.SameNode(r, victim) {
-				res.RemoteSteals++
+				res.count(obs.CRemoteSteals, r, 1)
 			}
 			fails[r] = 0
 			t += m.Cfg.Latency // task-descriptor transfer
 		} else {
-			res.FailedSteals++
+			res.count(obs.CFailedSteals, r, 1)
 			fails[r]++
 			t += float64(uint(1)<<min(fails[r], 10)) * m.Cfg.Latency
 		}
-		res.StealTime += t - now
+		res.addTime(obs.MSteal, r, t-now)
 		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: t, TaskID: -1, Activity: "steal"})
 		heap.Push(&h, rankEvent{rank: r, time: t})
 	}
 	if lt.remaining > 0 {
 		panic(fmt.Sprintf("core: resilient-stealing stranded %d tasks (no surviving ranks?)", lt.remaining))
 	}
-	res.ReExecuted = lt.reexec
+	res.count(obs.CReExecuted, 0, int64(lt.reexec))
 	res.CompletedBy = lt.completedBy
 	lt.audit()
 	res.finalize()
@@ -387,11 +401,11 @@ func (rs ResilientStealing) Run(w *Workload, m *cluster.Machine) *Result {
 // marked dead group-wide, its loss set (queue residue + interrupted
 // in-flight task) transfers to the thief under new leases, and the thief
 // pays to re-fetch the descriptors. Returns the thief's clock after
-// recovery.
+// recovery; the caller charges the recovery window it observed.
 func (rs ResilientStealing) reclaim(res *Result, m *cluster.Machine, lt *leaseTable, queues [][]int, deadKnown []bool, victim, thief int, at, detectAt float64) float64 {
 	deadKnown[victim] = true
 	if ct := m.CrashTime(victim); ct <= detectAt {
-		res.DetectLatency += detectAt - ct
+		res.addTime(obs.MDetect, victim, detectAt-ct)
 	}
 	loot := lt.lost(victim)
 	queues[victim] = nil
@@ -399,10 +413,8 @@ func (rs ResilientStealing) reclaim(res *Result, m *cluster.Machine, lt *leaseTa
 		lt.claim(id, thief)
 	}
 	queues[thief] = append(queues[thief], loot...)
-	res.LostTasks += len(loot)
-	end := detectAt + m.XferTime(descriptorBytes*len(loot))
-	res.RecoveryTime += end - at
-	return end
+	res.count(obs.CLostTasks, victim, int64(len(loot)))
+	return detectAt + m.XferTime(descriptorBytes*len(loot))
 }
 
 // probe models one steal round-trip from thief to a live victim under
@@ -418,7 +430,7 @@ func probe(links *fault.LinkFilter, m *cluster.Machine, thief, victim int, now f
 		*seq++
 		fate := links.Fate(thief, victim, k)
 		if fate == fault.Drop {
-			res.Retransmits++
+			res.count(obs.CRetransmits, thief, 1)
 			t += rpcTO * float64(uint(1)<<attempt)
 			continue
 		}

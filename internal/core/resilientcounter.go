@@ -7,6 +7,7 @@ import (
 
 	"execmodels/internal/cluster"
 	"execmodels/internal/fault"
+	"execmodels/internal/obs"
 )
 
 // ResilientCounter is the centralized dynamic model under faults: ranks
@@ -105,10 +106,10 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 			}
 			lt.claim(L.task, -1) // revoke: stale completions are now rejected
 			reissue = append(reissue, L.task)
-			res.LostTasks++
+			res.count(obs.CLostTasks, L.rank, 1)
 			if ct := m.CrashTime(L.rank); ct <= now && !detected[L.rank] {
 				detected[L.rank] = true
-				res.DetectLatency += now - ct
+				res.addTime(obs.MDetect, L.rank, now-ct)
 			}
 		}
 		leases = kept
@@ -124,17 +125,20 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 		crashT := m.CrashTime(r)
 		if ev.time >= crashT {
 			crashed[r] = true
-			res.Crashes++
+			res.count(obs.CCrashes, r, 1)
 			res.FinishTime[r] = crashT
 			continue
 		}
 		now := m.StallEnd(r, ev.time)
 		if now > ev.time {
-			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: now, TaskID: -1, Activity: "stall"})
+			// A rank that dies mid-stall only stalls until its crash time.
+			stallEnd := math.Min(now, crashT)
+			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: stallEnd, TaskID: -1, Activity: "stall"})
+			res.addTime(obs.MStall, r, stallEnd-ev.time)
 		}
 		if now >= crashT {
 			crashed[r] = true
-			res.Crashes++
+			res.count(obs.CCrashes, r, 1)
 			res.FinishTime[r] = crashT
 			continue
 		}
@@ -146,14 +150,16 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 		// Counter RPC; the request can be dropped en route to the home.
 		if links.Fate(r, 0, seq[r]) == fault.Drop {
 			seq[r]++
-			res.Retransmits++
+			res.count(obs.CRetransmits, r, 1)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: now + rpcTO, TaskID: -1, Activity: "counter"})
+			res.addTime(obs.MCounter, r, rpcTO)
 			heap.Push(&h, rankEvent{rank: r, time: now + rpcTO})
 			continue
 		}
 		seq[r]++
 		_, done := counter.FetchAdd(now, int64(chunk))
 		m.Trace.Record(cluster.Interval{Rank: r, Start: now, End: done, TaskID: -1, Activity: "counter"})
+		res.addTime(obs.MCounter, r, done-now)
 
 		// Home side: expire silent leases, then grant work — revoked
 		// indices first, fresh indices after.
@@ -183,7 +189,7 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 			if math.IsInf(retry, 1) {
 				retry = done + probeIvl
 			}
-			res.Retransmits++
+			res.count(obs.CRetransmits, r, 1)
 			heap.Push(&h, rankEvent{rank: r, time: math.Max(retry, done)})
 			continue
 		}
@@ -199,16 +205,16 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 			lt.start(id, r)
 			end, ok := m.TaskTimeFaulty(r, task.Cost, t)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: end, TaskID: id, Activity: "task"})
-			res.BusyTime[r] += end - t
+			res.addBusy(r, end-t)
 			t = end
 			if !ok {
 				crashed[r] = true
-				res.Crashes++
+				res.count(obs.CCrashes, r, 1)
 				res.FinishTime[r] = end
 				dead = true
 				break
 			}
-			res.TasksRun[r]++
+			res.ranTask(r)
 			t = chargeComm(res, w, m, seen, r, task, t)
 			if lt.holder[id] == r {
 				lt.complete(id, r)
@@ -223,9 +229,9 @@ func (rc ResilientCounter) Run(w *Workload, m *cluster.Machine) *Result {
 	if lt.remaining > 0 {
 		panic(fmt.Sprintf("core: resilient-counter stranded %d tasks (no surviving ranks?)", lt.remaining))
 	}
-	res.CounterOps = counter.Ops()
-	res.CounterWait = counter.TotalWait()
-	res.ReExecuted = lt.reexec
+	res.count(obs.CCounterOps, 0, counter.Ops())
+	res.addTime(obs.MCounterWait, 0, counter.TotalWait())
+	res.count(obs.CReExecuted, 0, int64(lt.reexec))
 	res.CompletedBy = lt.completedBy
 	lt.audit()
 	res.finalize()

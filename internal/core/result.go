@@ -5,13 +5,23 @@ import (
 	"strings"
 
 	"execmodels/internal/cluster"
+	"execmodels/internal/obs"
 )
 
 // Result is the outcome of running one execution model on one workload
 // and machine, entirely in simulated time except for ScheduleCost.
+//
+// The obs.Registry is the primary store: executors charge every simulated
+// second and count every event there via the helpers below, and
+// finalize() derives the exported fields from it. The fields therefore
+// remain the convenient read-side view the experiments and tests consume,
+// while the registry feeds the exporters and the blame analysis.
 type Result struct {
 	Model string
 	Ranks int
+
+	// Obs holds all metrics of the run, keyed by (metric name, rank).
+	Obs *obs.Registry
 
 	Makespan   float64   // simulated seconds until the last rank finished
 	BusyTime   []float64 // per-rank simulated task-execution time
@@ -21,7 +31,9 @@ type Result struct {
 
 	// ScheduleCost is the *real* wall-clock time (seconds) spent computing
 	// the assignment — the partitioner cost experiment (T4) compares this
-	// between semi-matching and hypergraph partitioning.
+	// between semi-matching and hypergraph partitioning. It is the one
+	// nondeterministic quantity in a Result and deliberately never enters
+	// the registry or any obs export.
 	ScheduleCost float64
 
 	// Runtime overheads, simulated.
@@ -34,38 +46,109 @@ type Result struct {
 
 	// Fault-recovery accounting, populated by the resilient executors
 	// (zero on a reliable machine). See internal/fault and resilient.go.
+	// The *_Time quantities are rank-seconds: summed over all ranks that
+	// paid them, matching the blame decomposition's components.
 	Crashes        int     // ranks that fail-stopped during the run
 	LostTasks      int     // unfinished tasks reclaimed from crashed ranks
 	ReExecuted     int     // execution attempts discarded and run again
 	Retransmits    int64   // timed-out / retried runtime RPCs
 	DetectLatency  float64 // summed crash→detection latency over detected crashes
-	RecoveryTime   float64 // simulated time spent detecting and reclaiming
-	CheckpointTime float64 // simulated time writing/restoring checkpoints
+	RecoveryTime   float64 // simulated rank-seconds detecting and reclaiming
+	CheckpointTime float64 // simulated rank-seconds writing/restoring checkpoints
 	// CompletedBy maps task → rank whose completion was accepted; only the
 	// resilient executors populate it (nil otherwise). The recovery tests
 	// use it to prove every task completed exactly once.
 	CompletedBy []int
 }
 
-// newResult allocates the per-rank slices.
+// newResult allocates the registry and the per-rank slices the executors
+// write directly (FinishTime is read mid-run by the checkpointed model).
 func newResult(model string, ranks int) *Result {
 	return &Result{
 		Model:      model,
 		Ranks:      ranks,
-		BusyTime:   make([]float64, ranks),
-		CommTime:   make([]float64, ranks),
+		Obs:        obs.NewRegistry(ranks),
 		FinishTime: make([]float64, ranks),
-		TasksRun:   make([]int, ranks),
 	}
 }
 
-// finalize computes the makespan from the per-rank finish times.
+// addBusy charges rank r dt seconds of task execution.
+func (r *Result) addBusy(rank int, dt float64) {
+	r.Obs.Add(obs.MBusy, rank, dt)
+	r.Obs.Observe(obs.HTask, rank, dt)
+}
+
+// ranTask counts one accepted task execution on rank r.
+func (r *Result) ranTask(rank int) { r.Obs.Count(obs.CTasks, rank, 1) }
+
+// addComm charges rank r dt seconds of communication moving the given
+// payload.
+func (r *Result) addComm(rank int, dt float64, bytes int) {
+	r.Obs.Add(obs.MComm, rank, dt)
+	r.Obs.Count(obs.CCommBytes, rank, int64(bytes))
+}
+
+// addTime charges rank r dt seconds under the given *_seconds gauge.
+func (r *Result) addTime(metric string, rank int, dt float64) {
+	r.Obs.Add(metric, rank, dt)
+}
+
+// count adds delta to the given counter on rank r.
+func (r *Result) count(name string, rank int, delta int64) {
+	r.Obs.Count(name, rank, delta)
+}
+
+// finalize computes the makespan from the per-rank finish times and
+// derives the legacy view fields from the registry, publishing the
+// derived finish/dead gauges back into it so exports are self-contained.
 func (r *Result) finalize() {
 	for _, f := range r.FinishTime {
 		if f > r.Makespan {
 			r.Makespan = f
 		}
 	}
+	for rank, f := range r.FinishTime {
+		r.Obs.Set(obs.MFinish, rank, f)
+	}
+	// A crashed rank is dead from its finish (= crash) time to the end of
+	// the run; that window is a blame component, not idle.
+	for rank, c := range r.Obs.CounterVec(obs.CCrashes) {
+		if c > 0 {
+			r.Obs.Set(obs.MDead, rank, r.Makespan-r.FinishTime[rank])
+		}
+	}
+
+	r.BusyTime = r.Obs.GaugeVec(obs.MBusy)
+	r.CommTime = r.Obs.GaugeVec(obs.MComm)
+	r.TasksRun = make([]int, r.Ranks)
+	for rank, v := range r.Obs.CounterVec(obs.CTasks) {
+		r.TasksRun[rank] = int(v)
+	}
+	r.CounterOps = r.Obs.CounterTotal(obs.CCounterOps)
+	r.CounterWait = r.Obs.GaugeTotal(obs.MCounterWait)
+	r.Steals = r.Obs.CounterTotal(obs.CSteals)
+	r.RemoteSteals = r.Obs.CounterTotal(obs.CRemoteSteals)
+	r.FailedSteals = r.Obs.CounterTotal(obs.CFailedSteals)
+	r.StealTime = r.Obs.GaugeTotal(obs.MSteal)
+	r.Crashes = int(r.Obs.CounterTotal(obs.CCrashes))
+	r.LostTasks = int(r.Obs.CounterTotal(obs.CLostTasks))
+	r.ReExecuted = int(r.Obs.CounterTotal(obs.CReExecuted))
+	r.Retransmits = r.Obs.CounterTotal(obs.CRetransmits)
+	r.DetectLatency = r.Obs.GaugeTotal(obs.MDetect)
+	r.RecoveryTime = r.Obs.GaugeTotal(obs.MRecover)
+	r.CheckpointTime = r.Obs.GaugeTotal(obs.MCheckpoint)
+}
+
+// Blame decomposes this run's makespan × ranks into its components using
+// the registry; the trace (optional, nil-safe) adds the critical path and
+// heaviest-task sections.
+func (r *Result) Blame(t *cluster.Trace) *obs.Blame {
+	return obs.AnalyzeBlame(r.Obs, t, r.Model, r.Ranks, r.Makespan)
+}
+
+// Summary snapshots the run for the JSON exporter.
+func (r *Result) Summary(b *obs.Blame) *obs.Summary {
+	return obs.NewSummary(r.Obs, b, r.Model, r.Ranks, r.Makespan)
 }
 
 // LoadImbalance returns max(busy)/mean(busy); 1.0 is perfect balance.

@@ -26,9 +26,9 @@ func runAssignment(model string, w *Workload, m *cluster.Machine, assign []int, 
 		r := assign[i]
 		dt := m.TaskTimeAt(r, t.Cost, clock[r])
 		m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + dt, TaskID: t.ID, Activity: "task"})
-		res.BusyTime[r] += dt
+		res.addBusy(r, dt)
 		clock[r] += dt
-		res.TasksRun[r]++
+		res.ranTask(r)
 		for _, b := range t.Blocks {
 			owner := blockOwner(b, m.P)
 			if owner == r || seen[r][b] {
@@ -36,8 +36,8 @@ func runAssignment(model string, w *Workload, m *cluster.Machine, assign []int, 
 			}
 			seen[r][b] = true
 			ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + ct, TaskID: -1, Activity: "comm"})
-			res.CommTime[r] += ct
+			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+			res.addComm(r, ct, w.BlockBytes[b])
 			clock[r] += ct
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"execmodels/internal/cluster"
+	"execmodels/internal/obs"
 )
 
 // StealPolicy selects what a successful steal takes from the victim.
@@ -102,8 +103,8 @@ func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
 			task := &w.Tasks[id]
 			t := ev.time + m.TaskTimeAt(r, task.Cost, ev.time)
 			m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: t, TaskID: task.ID, Activity: "task"})
-			res.BusyTime[r] += t - ev.time
-			res.TasksRun[r]++
+			res.addBusy(r, t-ev.time)
+			res.ranTask(r)
 			for _, b := range task.Blocks {
 				owner := blockOwner(b, m.P)
 				if owner == r || seen[r][b] {
@@ -111,7 +112,8 @@ func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
 				}
 				seen[r][b] = true
 				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-				res.CommTime[r] += ct
+				m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
+				res.addComm(r, ct, w.BlockBytes[b])
 				t += ct
 			}
 			remaining--
@@ -147,9 +149,9 @@ func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
 				loot[i], loot[j] = loot[j], loot[i]
 			}
 			queues[r] = append(queues[r], loot...)
-			res.Steals++
+			res.count(obs.CSteals, r, 1)
 			if !m.SameNode(r, victim) {
-				res.RemoteSteals++
+				res.count(obs.CRemoteSteals, r, 1)
 			}
 			fails[r] = 0
 			// Transferring task descriptors: one extra latency per steal.
@@ -159,14 +161,14 @@ func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
 				cost += m.Cfg.Latency
 			}
 		} else {
-			res.FailedSteals++
+			res.count(obs.CFailedSteals, r, 1)
 			fails[r]++
 			// Exponential backoff caps the event-count blowup while the
 			// last tasks drain.
 			backoff := float64(uint(1)<<min(fails[r], 10)) * m.Cfg.Latency
 			cost += backoff
 		}
-		res.StealTime += cost
+		res.addTime(obs.MSteal, r, cost)
 		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: ev.time + cost, TaskID: -1, Activity: "steal"})
 		heap.Push(&h, rankEvent{rank: r, time: ev.time + cost})
 	}

@@ -1,0 +1,32 @@
+package fault
+
+import "execmodels/internal/obs"
+
+// Metric names describing a fault plan. These are *planned* quantities —
+// what the plan will inject — as opposed to the observed crash/recovery
+// metrics the executors record; comparing the two is how experiments
+// check that every injected fault was actually seen and survived.
+const (
+	MetricPlannedCrashes      = "planned_crashes_total"
+	MetricCrashTime           = "crash_time_seconds"
+	MetricPlannedStalls       = "planned_stalls_total"
+	MetricPlannedStallSeconds = "planned_stall_seconds"
+)
+
+// PublishMetrics writes the plan's injection schedule into reg: per-rank
+// crash counts and crash times (a gauge: the virtual time of the rank's
+// crash), and per-rank stall counts and total stall seconds. Nil or empty
+// plans publish nothing.
+func (p *Plan) PublishMetrics(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	for _, c := range p.Crashes {
+		reg.Count(MetricPlannedCrashes, c.Rank, 1)
+		reg.Set(MetricCrashTime, c.Rank, c.At)
+	}
+	for _, s := range p.Stalls {
+		reg.Count(MetricPlannedStalls, s.Rank, 1)
+		reg.Add(MetricPlannedStallSeconds, s.Rank, s.Duration)
+	}
+}

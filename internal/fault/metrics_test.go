@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"testing"
+
+	"execmodels/internal/obs"
+)
+
+func TestPlanPublishMetrics(t *testing.T) {
+	p := &Plan{
+		Crashes: []Crash{{Rank: 1, At: 2.5}},
+		Stalls:  []Stall{{Rank: 0, At: 1.0, Duration: 0.5}, {Rank: 0, At: 3.0, Duration: 0.25}},
+	}
+	reg := obs.NewRegistry(4)
+	p.PublishMetrics(reg)
+
+	if got := reg.CounterTotal(MetricPlannedCrashes); got != 1 {
+		t.Errorf("planned crashes = %d, want 1", got)
+	}
+	if vec := reg.GaugeVec(MetricCrashTime); vec[1] != 2.5 {
+		t.Errorf("crash time = %v, want 2.5 at rank 1", vec)
+	}
+	if got := reg.CounterTotal(MetricPlannedStalls); got != 2 {
+		t.Errorf("planned stalls = %d, want 2", got)
+	}
+	if got := reg.GaugeTotal(MetricPlannedStallSeconds); got != 0.75 {
+		t.Errorf("stall seconds = %v, want 0.75", got)
+	}
+
+	var nilPlan *Plan
+	nilPlan.PublishMetrics(reg) // must not panic
+}

@@ -1,0 +1,29 @@
+package ga
+
+import "execmodels/internal/obs"
+
+// Metric names this package publishes into an obs.Registry. They count
+// one-sided operations against the PGAS substrate, mirroring what a real
+// Global Arrays profiling layer reports.
+const (
+	MetricGets       = "ga_gets_total"
+	MetricPuts       = "ga_puts_total"
+	MetricAccs       = "ga_accs_total"
+	MetricCounterOps = "ga_counter_ops_total"
+)
+
+// PublishMetrics writes the array's cumulative one-sided op counts into
+// reg, attributed to rank. Counts are absolute snapshots, so publish once
+// per array per run (PublishMetrics uses Count, which accumulates).
+func (a *Array) PublishMetrics(reg *obs.Registry, rank int) {
+	gets, puts, accs := a.OpCounts()
+	reg.Count(MetricGets, rank, gets)
+	reg.Count(MetricPuts, rank, puts)
+	reg.Count(MetricAccs, rank, accs)
+}
+
+// PublishMetrics writes the counter's cumulative fetch-and-add count into
+// reg, attributed to rank.
+func (c *Counter) PublishMetrics(reg *obs.Registry, rank int) {
+	reg.Count(MetricCounterOps, rank, c.Ops())
+}

@@ -1,0 +1,41 @@
+package ga
+
+import (
+	"testing"
+
+	"execmodels/internal/obs"
+)
+
+func TestPublishMetrics(t *testing.T) {
+	a := NewArray(8, 4, 2)
+	buf := make([]float64, 8)
+	a.Get(0, 0, 2, 4, buf)
+	a.Put(2, 0, 2, 4, buf)
+	a.Put(4, 0, 2, 4, buf)
+	a.Acc(0, 0, 2, 4, buf, 1.0)
+
+	c := &Counter{}
+	c.NextVal()
+	c.NextVal()
+	c.FetchAdd(5)
+
+	reg := obs.NewRegistry(2)
+	a.PublishMetrics(reg, 1)
+	c.PublishMetrics(reg, 0)
+
+	if got := reg.CounterTotal(MetricGets); got != 1 {
+		t.Errorf("gets = %d, want 1", got)
+	}
+	if got := reg.CounterTotal(MetricPuts); got != 2 {
+		t.Errorf("puts = %d, want 2", got)
+	}
+	if got := reg.CounterTotal(MetricAccs); got != 1 {
+		t.Errorf("accs = %d, want 1", got)
+	}
+	if vec := reg.CounterVec(MetricPuts); vec[0] != 0 || vec[1] != 2 {
+		t.Errorf("puts attributed to wrong rank: %v", vec)
+	}
+	if got := reg.CounterTotal(MetricCounterOps); got != 3 {
+		t.Errorf("counter ops = %d, want 3", got)
+	}
+}

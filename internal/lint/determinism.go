@@ -40,6 +40,7 @@ func NewDeterminism() *Determinism {
 			"internal/deque",
 			"internal/hypergraph",
 			"internal/semimatching",
+			"internal/obs",
 		},
 		AllowTimeFuncs: map[string]bool{
 			"startStopwatch": true, // internal/core stopwatch constructor

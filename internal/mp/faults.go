@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"execmodels/internal/fault"
+	"execmodels/internal/obs"
 )
 
 // Fault injection for the wall-clock runtime. A World can carry a
@@ -86,10 +87,12 @@ func (w *World) Retransmits() int64 {
 	return w.retransmits
 }
 
-func (w *World) addRetransmit() {
+func (w *World) addRetransmit(src int) {
 	w.fmu.Lock()
-	defer w.fmu.Unlock()
+	reg := w.metrics
 	w.retransmits++
+	w.fmu.Unlock()
+	reg.Count(obs.CMpRetransmits, src, 1)
 }
 
 // deliveries decides how many copies of a message actually reach dst's
@@ -181,7 +184,7 @@ func (c *Comm) SendReliable(dst, tag int, data []float64, opts ReliableOpts) err
 	to := opts.Timeout
 	for attempt := 0; attempt < opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			c.world.addRetransmit()
+			c.world.addRetransmit(c.rank)
 		}
 		c.Send(dst, tag, payload)
 		for {
@@ -190,6 +193,7 @@ func (c *Comm) SendReliable(dst, tag int, data []float64, opts ReliableOpts) err
 				break // timed out: retry the send
 			}
 			if len(ack) == 1 && int64(ack[0]) == id {
+				c.world.metricsReg().Observe(obs.HMpAttempts, c.rank, float64(attempt+1))
 				return nil
 			}
 			// A stale ack for an earlier (duplicated) message; keep
@@ -218,10 +222,12 @@ func (c *Comm) RecvReliable(src, tag int) (data []float64, from int) {
 		id := int64(m[0])
 		// Acknowledge every copy: the first ack may have raced a retry.
 		c.Send(f, ackTag(tag), []float64{float64(id)})
+		c.world.metricsReg().Count(obs.CMpAcks, c.rank, 1)
 		if c.seen[f] == nil {
 			c.seen[f] = make(map[int64]bool)
 		}
 		if c.seen[f][id] {
+			c.world.metricsReg().Count(obs.CMpDuplicates, c.rank, 1)
 			continue // duplicate of an already-delivered message
 		}
 		c.seen[f][id] = true

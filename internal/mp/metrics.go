@@ -1,0 +1,34 @@
+package mp
+
+import "execmodels/internal/obs"
+
+// Metrics instrumentation for the wall-clock runtime: a World can carry an
+// obs.Registry and then counts per-rank messages, payload bytes, acks,
+// duplicate deliveries and retransmissions, plus a histogram of how many
+// attempts each reliable send needed. Counts are deterministic for a fixed
+// (seed, program) because message fates are; only wall-clock timing is not,
+// and no timing ever enters the registry from this package.
+
+// SetMetrics installs (or, with nil, removes) the registry the world
+// reports into. The registry should be sized for at least P ranks.
+func (w *World) SetMetrics(reg *obs.Registry) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.metrics = reg
+}
+
+// metricsReg returns the installed registry (possibly nil). obs.Registry
+// is internally locked, so callers use it without holding fmu.
+func (w *World) metricsReg() *obs.Registry {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.metrics
+}
+
+// countSend records one sent message from src with the given payload
+// length (8 bytes per float64 element).
+func (w *World) countSend(src, elems int) {
+	reg := w.metricsReg()
+	reg.Count(obs.CMpMessages, src, 1)
+	reg.Count(obs.CMpBytes, src, int64(8*elems))
+}

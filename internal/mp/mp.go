@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"execmodels/internal/fault"
+	"execmodels/internal/obs"
 )
 
 // message is one point-to-point payload in flight.
@@ -39,6 +40,7 @@ type World struct {
 	dead        []bool            // guarded by fmu
 	seq         [][]int           // guarded by fmu; per (src,dst) message sequence
 	retransmits int64             // guarded by fmu
+	metrics     *obs.Registry     // guarded by fmu; see metrics.go
 }
 
 // NewWorld creates a world with p ranks.
@@ -98,6 +100,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.world.P {
 		panic(fmt.Sprintf("mp: send to rank %d of %d", dst, c.world.P))
 	}
+	c.world.countSend(c.rank, len(data))
 	copies := c.world.deliveries(c.rank, dst, tag)
 	for i := 0; i < copies; i++ {
 		cp := make([]float64, len(data))

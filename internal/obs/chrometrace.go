@@ -1,4 +1,4 @@
-package cluster
+package obs
 
 import (
 	"encoding/json"
@@ -21,8 +21,9 @@ type chromeEvent struct {
 
 // WriteChromeTrace renders the trace in the Chrome trace-event JSON array
 // format, one complete event per interval: rank = tid, simulated seconds
-// scaled to microseconds. Load the output in chrome://tracing or Perfetto
-// to inspect an execution visually.
+// scaled to microseconds. Message spans carry src/dst/bytes args. Load the
+// output in chrome://tracing or Perfetto to inspect an execution visually.
+// Output is deterministic: encoding/json sorts map keys.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	events := make([]chromeEvent, 0, len(t.Intervals))
 	for _, iv := range t.Intervals {
@@ -30,6 +31,11 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		args := map[string]string{}
 		if iv.TaskID >= 0 {
 			args["task"] = strconv.Itoa(iv.TaskID)
+		}
+		if iv.Bytes > 0 {
+			args["src"] = strconv.Itoa(iv.Src)
+			args["dst"] = strconv.Itoa(iv.Dst)
+			args["bytes"] = strconv.Itoa(iv.Bytes)
 		}
 		events = append(events, chromeEvent{
 			Name: name,

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteOpenMetrics dumps the registry in the OpenMetrics text exposition
+// format (the Prometheus dialect), one series per (metric, rank), with
+// the given constant labels on every series. Metric names are prefixed
+// "execmodels_". The dump is deterministic: metric names and label keys
+// are emitted in sorted order, values formatted with strconv's shortest
+// round-trip representation. Metrics never touched during the run are
+// omitted.
+func WriteOpenMetrics(w io.Writer, r *Registry, constLabels map[string]string) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	keys := make([]string, 0, len(constLabels))
+	for k := range constLabels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	labels := func(rank int) string {
+		s := "{"
+		for _, k := range keys {
+			s += k + "=" + strconv.Quote(constLabels[k]) + ","
+		}
+		return s + `rank="` + strconv.Itoa(rank) + `"}`
+	}
+	fnum := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	for _, name := range r.CounterNames() {
+		// OpenMetrics: the metric family drops the _total suffix; the
+		// sample keeps it.
+		family := "execmodels_" + name
+		if n := len(family); n > 6 && family[n-6:] == "_total" {
+			family = family[:n-6]
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+			return err
+		}
+		for rank, v := range r.CounterVec(name) {
+			if _, err := fmt.Fprintf(w, "%s_total%s %d\n", family, labels(rank), v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range r.GaugeNames() {
+		full := "execmodels_" + name
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", full); err != nil {
+			return err
+		}
+		for rank, v := range r.GaugeVec(name) {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", full, labels(rank), fnum(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range r.HistNames() {
+		full := "execmodels_" + name
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+			return err
+		}
+		for rank := 0; rank < r.Ranks(); rank++ {
+			bounds, counts, sum, n := r.HistSnapshot(name, rank)
+			if n == 0 {
+				continue // skip empty per-rank histograms: they dominate the dump
+			}
+			l := labels(rank)
+			cum := uint64(0)
+			for i, ub := range bounds {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", full, bucketLabels(l, fnum(ub)), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", full, bucketLabels(l, "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", full, l, fnum(sum), full, l, n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// bucketLabels splices an le="..." label into a rendered label set.
+func bucketLabels(labels, le string) string {
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

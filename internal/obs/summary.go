@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Summary is the machine-readable JSON view of one run: totals of every
+// counter, totals and per-rank vectors of every gauge, and the blame
+// decomposition. Like every obs artifact it is a pure function of the run
+// configuration; encoding/json sorts map keys, so the bytes are
+// deterministic too.
+type Summary struct {
+	Model    string  `json:"model"`
+	Ranks    int     `json:"ranks"`
+	Makespan float64 `json:"makespan_seconds"`
+
+	Counters    map[string]int64     `json:"counters,omitempty"`
+	GaugeTotals map[string]float64   `json:"gauge_totals,omitempty"`
+	PerRank     map[string][]float64 `json:"per_rank,omitempty"`
+
+	Blame *Blame `json:"blame,omitempty"`
+}
+
+// NewSummary snapshots the registry (and optional blame) for export.
+func NewSummary(reg *Registry, b *Blame, model string, ranks int, makespan float64) *Summary {
+	s := &Summary{
+		Model:       model,
+		Ranks:       ranks,
+		Makespan:    makespan,
+		Counters:    map[string]int64{},
+		GaugeTotals: map[string]float64{},
+		PerRank:     map[string][]float64{},
+		Blame:       b,
+	}
+	for _, name := range reg.CounterNames() {
+		s.Counters[name] = reg.CounterTotal(name)
+	}
+	for _, name := range reg.GaugeNames() {
+		s.GaugeTotals[name] = reg.GaugeTotal(name)
+		s.PerRank[name] = reg.GaugeVec(name)
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
