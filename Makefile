@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint bench cover cover-check fuzz blame metrics experiments figures faults clean
+.PHONY: all build test race lint lint-determinism bench cover cover-check fuzz blame metrics experiments figures faults clean
 
 all: build test lint
 
@@ -14,10 +14,22 @@ test:
 race:
 	go test -race ./...
 
-# Repo-specific static analysis: determinism, guardedby, lockbalance,
-# floateq (see internal/lint and cmd/execlint).
+# Repo-specific static analysis, all seven checks: determinism,
+# guardedby, lockbalance, floateq plus the interprocedural clocktaint,
+# maporder and lockset (see internal/lint, internal/lint/dataflow and
+# cmd/execlint).
 lint:
 	go run ./cmd/execlint ./...
+
+# The linter's own determinism: diagnostics must be sorted, never
+# map-ordered, so two consecutive runs are byte-identical. `|| true`
+# keeps a findings-bearing tree comparable; lint-determinism checks
+# stability, `lint` checks cleanliness.
+lint-determinism:
+	go run ./cmd/execlint -json ./... > execlint_run1.json || true
+	go run ./cmd/execlint -json ./... > execlint_run2.json || true
+	diff execlint_run1.json execlint_run2.json
+	rm -f execlint_run1.json execlint_run2.json
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -67,4 +79,5 @@ faults:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt blame_run1.txt blame_run2.txt
+	rm -f execlint_run1.json execlint_run2.json execlint.json
 	rm -rf figures/ metrics/

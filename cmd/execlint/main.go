@@ -1,18 +1,25 @@
 // Command execlint runs the repository's static-analysis suite: the
-// determinism, guardedby, lockbalance and floateq checks that keep the
-// execution-model comparison reproducible and its concurrency honest
-// (see internal/lint).
+// syntactic determinism, guardedby, lockbalance and floateq checks plus
+// the interprocedural clocktaint, maporder and lockset checks built on
+// the internal/lint/dataflow summary engine (see internal/lint).
 //
 // Usage:
 //
-//	execlint [-json] [-checks determinism,guardedby,...] [packages]
+//	execlint [-json] [-analyzer clocktaint,maporder,...] [packages]
 //
 // Package patterns are directories relative to the working directory,
-// with "./..." expanding recursively (default). Exit status is 0 when no
-// findings survive suppression, 1 when findings are reported, 2 on usage
-// or load errors.
+// with "./..." expanding recursively (default).
 //
-// Per-line suppression, reason mandatory:
+// Exit status:
+//
+//	0  no findings survived //lint:ignore suppression
+//	1  findings were reported
+//	2  usage error, unknown analyzer name, or package load failure
+//
+// With -json each finding is one NDJSON line (check, position, message,
+// and the source→call-chain→sink taint path for interprocedural
+// findings), ordered deterministically — two runs over the same tree are
+// byte-identical. Per-line suppression, reason mandatory:
 //
 //	//lint:ignore <check> <reason>
 package main
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"execmodels/internal/lint"
@@ -34,9 +42,15 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("execlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := fs.Bool("list", false, "list available checks and exit")
+	jsonOut := fs.Bool("json", false, "emit one NDJSON finding per line (check, position, message, taint path)")
+	analyzer := fs.String("analyzer", "", "comma-separated subset of analyzers to run (default: all; see -list)")
+	checks := fs.String("checks", "", "alias for -analyzer (kept for compatibility)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: execlint [-json] [-analyzer name,...] [packages]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nexit status: 0 no findings, 1 findings reported, 2 usage/load error\n")
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,21 +62,44 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
-	if *checks != "" {
+	selection := *analyzer
+	if selection == "" {
+		selection = *checks
+	}
+	if selection != "" {
+		// Validate every requested name up front (the way benchsuite
+		// validates -exp IDs): report all unknown names at once with the
+		// valid vocabulary, rather than failing on the first.
 		byName := map[string]lint.Analyzer{}
+		valid := make([]string, 0, len(analyzers))
 		for _, a := range analyzers {
 			byName[a.Name()] = a
+			valid = append(valid, a.Name())
 		}
-		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*checks, ",") {
+		sort.Strings(valid)
+		var picked []lint.Analyzer
+		var unknown []string
+		for _, name := range strings.Split(selection, ",") {
 			name = strings.TrimSpace(name)
-			a, ok := byName[name]
-			if !ok {
-				fmt.Fprintf(stderr, "execlint: unknown check %q (use -list)\n", name)
-				return 2
+			if name == "" {
+				continue
 			}
-			analyzers = append(analyzers, a)
+			if a, ok := byName[name]; ok {
+				picked = append(picked, a)
+			} else {
+				unknown = append(unknown, name)
+			}
 		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(stderr, "execlint: unknown analyzer(s): %s\nvalid analyzers: %s\n",
+				strings.Join(unknown, ", "), strings.Join(valid, ", "))
+			return 2
+		}
+		if len(picked) == 0 {
+			fmt.Fprintf(stderr, "execlint: -analyzer selected nothing; valid analyzers: %s\n", strings.Join(valid, ", "))
+			return 2
+		}
+		analyzers = picked
 	}
 
 	patterns := fs.Args()
@@ -88,28 +125,35 @@ func run(args []string, stdout, stderr *os.File) int {
 	findings := lint.Run(pkgs, analyzers)
 
 	if *jsonOut {
-		type jsonFinding struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Column  int    `json:"column"`
-			Check   string `json:"check"`
-			Message string `json:"message"`
+		type jsonStep struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Desc string `json:"desc"`
 		}
-		out := make([]jsonFinding, 0, len(findings))
+		type jsonFinding struct {
+			File    string     `json:"file"`
+			Line    int        `json:"line"`
+			Column  int        `json:"column"`
+			Check   string     `json:"check"`
+			Message string     `json:"message"`
+			Path    []jsonStep `json:"path,omitempty"`
+		}
+		enc := json.NewEncoder(stdout) // one finding per line: NDJSON
 		for _, f := range findings {
-			out = append(out, jsonFinding{
+			jf := jsonFinding{
 				File:    f.Pos.Filename,
 				Line:    f.Pos.Line,
 				Column:  f.Pos.Column,
 				Check:   f.Check,
 				Message: f.Message,
-			})
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(stderr, "execlint: %v\n", err)
-			return 2
+			}
+			for _, s := range f.Path {
+				jf.Path = append(jf.Path, jsonStep{File: s.Pos.Filename, Line: s.Pos.Line, Desc: s.Desc})
+			}
+			if err := enc.Encode(jf); err != nil {
+				fmt.Fprintf(stderr, "execlint: %v\n", err)
+				return 2
+			}
 		}
 	} else {
 		for _, f := range findings {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"execmodels/internal/lint/dataflow"
+)
+
+// ClockTaint is the interprocedural companion to the syntactic
+// determinism check. Determinism forbids *calling* time.Now or the
+// global math/rand functions in simulation packages but allowlists the
+// stopwatch wrappers, because the paper reports real partitioner cost.
+// That allowlist opens a hole: nothing syntactic stops a wall-clock
+// value from flowing out of a wrapper, through any number of helpers,
+// into state the byte-identical guarantee covers. ClockTaint closes the
+// hole with taint tracking: values produced by time.Now/Since/Until,
+// the global math/rand functions, or any //lint:source-annotated
+// function are traced through assignments, returns and calls (via
+// function summaries), and reported when they reach
+//
+//   - a field of a Result struct,
+//   - a metric charge on obs.Registry (Count/Add/Set/Observe), or
+//   - an obs exporter that takes an io.Writer.
+//
+// Every finding carries the full source→call-chain→sink path, and is
+// reported at the sink, so one //lint:ignore at the sink documents the
+// deliberate exception (core.Result.ScheduleCost — the one quantity
+// defined to be wall-clock real time, which never enters the registry).
+type ClockTaint struct {
+	// Packages are import-path suffixes findings are reported in.
+	// Summaries are still computed over the whole program.
+	Packages []string
+	// ResultTypes are struct type names treated as Result sinks.
+	ResultTypes map[string]bool
+}
+
+// NewClockTaint returns the analyzer with the repository defaults.
+func NewClockTaint() *ClockTaint {
+	return &ClockTaint{
+		Packages:    simPackages(),
+		ResultTypes: map[string]bool{"Result": true},
+	}
+}
+
+// Name implements Analyzer.
+func (*ClockTaint) Name() string { return "clocktaint" }
+
+// Doc implements Analyzer.
+func (*ClockTaint) Doc() string {
+	return "trace wall-clock/global-rand values interprocedurally; they must not reach Result fields, registry charges or exporters"
+}
+
+// AppliesTo implements Analyzer.
+func (c *ClockTaint) AppliesTo(pkgPath string) bool {
+	for _, suffix := range c.Packages {
+		if hasSuffixPath(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer on a single package (fixture tests).
+func (c *ClockTaint) Run(pkg *Package) []Finding {
+	return c.RunProgram([]*Package{pkg})
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (c *ClockTaint) RunProgram(pkgs []*Package) []Finding {
+	eng := dataflow.New(dataflowPkgs(pkgs))
+	spec := dataflow.TaintSpec{
+		Source:    c.source,
+		SinkStore: c.sinkStore,
+		SinkArg:   c.sinkArg,
+		ReportIn:  c.AppliesTo,
+	}
+	var out []Finding
+	for _, tf := range eng.Taint(spec) {
+		out = append(out, Finding{
+			Pos:     tf.Pos,
+			Check:   c.Name(),
+			Message: fmt.Sprintf("nondeterministic value reaches %s; flow: %s", tf.Sink, tf.Path),
+			Path:    tf.Path,
+		})
+	}
+	return out
+}
+
+// source classifies intrinsic taint sources: the wall clock and the
+// global math/rand convenience functions. Methods on a seeded *rand.Rand
+// are deterministic and deliberately not sources.
+func (c *ClockTaint) source(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			return "global rand." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// sinkStore classifies assignment targets: any field of a Result-named
+// struct type.
+func (c *ClockTaint) sinkStore(pkg *dataflow.Pkg, lhs ast.Expr) (string, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || pkg.Info == nil {
+		return "", false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !c.ResultTypes[named.Obj().Name()] {
+		return "", false
+	}
+	short := ""
+	if named.Obj().Pkg() != nil {
+		short = shortPkg(named.Obj().Pkg().Path()) + "."
+	}
+	return short + named.Obj().Name() + " field " + sel.Sel.Name, true
+}
+
+// sinkArg classifies call arguments: anything passed to a registry
+// charge, and anything passed to an obs exporter (a function in
+// internal/obs taking an io.Writer).
+func (c *ClockTaint) sinkArg(_ *dataflow.Pkg, _ *ast.CallExpr, fn *types.Func, _ int) (string, bool) {
+	if isRegistryCharge(fn) {
+		return "obs.Registry." + fn.Name(), true
+	}
+	if fn.Pkg() != nil && hasSuffixPath(fn.Pkg().Path(), "internal/obs") {
+		if _, ok := dataflow.WriterParam(fn); ok {
+			return "obs exporter " + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// shortPkg returns the last path element of an import path.
+func shortPkg(path string) string {
+	if i := lastSlash(path); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

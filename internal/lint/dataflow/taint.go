@@ -1,0 +1,684 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// TaintSpec configures one taint analysis: what creates taint, what
+// consumes it, and where findings may be reported. Interprocedural facts
+// flow through every loaded package regardless of ReportIn; only the
+// final source-meets-sink report is scoped.
+type TaintSpec struct {
+	// Source classifies a resolved callee as a taint source (e.g.
+	// time.Now); desc names it in rendered paths.
+	Source func(fn *types.Func) (desc string, ok bool)
+
+	// SinkStore classifies an assignment target as a sink (e.g. a field
+	// of core.Result). Called with the left-hand side of assignments.
+	SinkStore func(pkg *Pkg, lhs ast.Expr) (desc string, ok bool)
+
+	// SinkArg classifies argument arg (0-based, after flattening
+	// variadic calls) of a resolved call as a sink (e.g. the arguments
+	// of obs.Registry.Add, or non-writer arguments of a function taking
+	// an io.Writer).
+	SinkArg func(pkg *Pkg, call *ast.CallExpr, fn *types.Func, arg int) (desc string, ok bool)
+
+	// ReportIn scopes findings to packages satisfying the predicate
+	// (nil: report everywhere).
+	ReportIn func(pkgPath string) bool
+}
+
+// TaintFinding is one source-to-sink flow. Path begins at the source and
+// ends with the sink step; Pos is the sink position (where a
+// //lint:ignore suppression belongs).
+type TaintFinding struct {
+	Pos  token.Position
+	Sink string
+	Path Path
+}
+
+// value is the taint lattice element for one variable or expression:
+// optionally tainted by a concrete source (with the path that got it
+// there), and/or derived from enclosing-function parameters (with the
+// route taken, for summary facts).
+type value struct {
+	src    Path
+	params map[int]Path
+}
+
+func (v value) tainted() bool { return v.src != nil || len(v.params) > 0 }
+
+// join merges o into v, reporting whether v grew. First-found paths win,
+// which is deterministic because analysis order is deterministic.
+func (v *value) join(o value) bool {
+	changed := false
+	if v.src == nil && o.src != nil {
+		v.src = o.src
+		changed = true
+	}
+	for p, route := range o.params {
+		if v.params == nil {
+			v.params = map[int]Path{}
+		}
+		if _, ok := v.params[p]; !ok {
+			v.params[p] = route
+			changed = true
+		}
+	}
+	return changed
+}
+
+// step returns a copy of v with s appended to every carried path.
+func (v value) step(s Step) value {
+	out := value{}
+	if v.src != nil {
+		out.src = extend(v.src, s)
+	}
+	if len(v.params) > 0 {
+		out.params = make(map[int]Path, len(v.params))
+		for p, route := range v.params {
+			out.params[p] = extend(route, s)
+		}
+	}
+	return out
+}
+
+// sinkFact records that a parameter reaches a sink inside a function
+// (directly or through deeper callees).
+type sinkFact struct {
+	desc string
+	pos  token.Position
+	path Path // route from the parameter to the sink, ending at the sink step
+}
+
+// taintSummary is one function's transfer summary.
+type taintSummary struct {
+	resultSrc map[int]Path         // result index → source path (tainted regardless of arguments)
+	flow      map[int]map[int]Path // param index → result index → route
+	sinkParam map[int]sinkFact     // param index → sink reached inside
+}
+
+func newTaintSummary() *taintSummary {
+	return &taintSummary{
+		resultSrc: map[int]Path{},
+		flow:      map[int]map[int]Path{},
+		sinkParam: map[int]sinkFact{},
+	}
+}
+
+// covers reports whether s already contains every fact of o — the
+// fixpoint's monotone "no change" test (paths are not compared).
+func (s *taintSummary) covers(o *taintSummary) bool {
+	if s == nil {
+		return o == nil || (len(o.resultSrc) == 0 && len(o.flow) == 0 && len(o.sinkParam) == 0)
+	}
+	for i := range o.resultSrc {
+		if _, ok := s.resultSrc[i]; !ok {
+			return false
+		}
+	}
+	for p, results := range o.flow {
+		have := s.flow[p]
+		for r := range results {
+			if _, ok := have[r]; !ok {
+				return false
+			}
+		}
+	}
+	for p := range o.sinkParam {
+		if _, ok := s.sinkParam[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Taint runs the bottom-up summary fixpoint and returns every
+// source-to-sink flow in ReportIn scope, sorted by position then sink.
+func (e *Engine) Taint(spec TaintSpec) []TaintFinding {
+	sums := map[string]*taintSummary{}
+	// The summary lattice is finite (indices bounded by arity), so the
+	// fixpoint terminates; the iteration cap is a safety net only.
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, id := range e.ids {
+			f := e.funcs[id]
+			ns, _ := e.analyzeTaint(f, spec, sums, false)
+			if !covers(sums[id], ns) {
+				sums[id] = ns
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var out []TaintFinding
+	seen := map[string]bool{}
+	for _, id := range e.ids {
+		f := e.funcs[id]
+		if spec.ReportIn != nil && !spec.ReportIn(f.Pkg.Path) {
+			continue
+		}
+		_, findings := e.analyzeTaint(f, spec, sums, true)
+		for _, tf := range findings {
+			key := tf.Pos.String() + "|" + tf.Sink
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, tf)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Sink < b.Sink
+	})
+	return out
+}
+
+func covers(have, next *taintSummary) bool { return have != nil && have.covers(next) }
+
+// ParamFlows returns, for every function ID, which parameter indices may
+// flow into which result indices (receiver = -1). Computed once with an
+// empty spec and cached; lockset uses it to see through identity-shaped
+// helpers.
+func (e *Engine) ParamFlows() map[string]map[int]map[int]bool {
+	if e.flows != nil {
+		return e.flows
+	}
+	sums := map[string]*taintSummary{}
+	spec := TaintSpec{}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, id := range e.ids {
+			ns, _ := e.analyzeTaint(e.funcs[id], spec, sums, false)
+			if !covers(sums[id], ns) {
+				sums[id] = ns
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	e.flows = map[string]map[int]map[int]bool{}
+	for id, s := range sums {
+		m := map[int]map[int]bool{}
+		for p, results := range s.flow {
+			m[p] = map[int]bool{}
+			for r := range results {
+				m[p][r] = true
+			}
+		}
+		e.flows[id] = m
+	}
+	return e.flows
+}
+
+// taintFrame is the per-function analysis state.
+type taintFrame struct {
+	e       *Engine
+	pkg     *Pkg
+	fn      *Func
+	spec    TaintSpec
+	sums    map[string]*taintSummary
+	report  bool
+	params  map[types.Object]int
+	results map[types.Object]int
+	env     map[types.Object]*value
+	sum     *taintSummary
+	finds   []TaintFinding
+	changed bool
+}
+
+// analyzeTaint computes one function's summary given the current callee
+// summaries. With report set it also emits findings for source-tainted
+// values meeting sinks.
+func (e *Engine) analyzeTaint(f *Func, spec TaintSpec, sums map[string]*taintSummary, report bool) (*taintSummary, []TaintFinding) {
+	fr := &taintFrame{
+		e: e, pkg: f.Pkg, fn: f, spec: spec, sums: sums, report: report,
+		env: map[types.Object]*value{},
+		sum: newTaintSummary(),
+	}
+	fr.params, fr.results, _ = paramObjects(f.Pkg, f.Decl)
+
+	// Iterate the body until the local environment stabilizes so
+	// loop-carried taint converges; facts and findings recorded on the
+	// last pass are complete.
+	for pass := 0; pass < 12; pass++ {
+		fr.finds = nil
+		fr.sum = newTaintSummary()
+		if !fr.walkBody(f.Decl.Body) {
+			break
+		}
+	}
+	return fr.sum, fr.finds
+}
+
+// walkBody walks the whole body once; reports whether env changed.
+func (fr *taintFrame) walkBody(body *ast.BlockStmt) bool {
+	fr.changed = false
+	fr.walkStmts(body, false)
+	return fr.changed
+}
+
+// walkStmts visits statements. inLit marks function-literal bodies:
+// their statements share the enclosing environment (captures work) but
+// their return statements do not feed the enclosing function's results.
+func (fr *taintFrame) walkStmts(n ast.Node, inLit bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.FuncLit:
+			fr.walkStmts(s.Body, true)
+			return false
+		case *ast.AssignStmt:
+			fr.assign(s)
+			return true
+		case *ast.RangeStmt:
+			fr.rangeStmt(s)
+			return true
+		case *ast.ReturnStmt:
+			if !inLit {
+				fr.returnStmt(s)
+			}
+			return true
+		case *ast.CallExpr:
+			fr.checkCallSinks(s)
+			return true
+		}
+		return true
+	})
+}
+
+// assign handles = and := statements: environment updates, sink-store
+// checks and weak base taint for field stores.
+func (fr *taintFrame) assign(s *ast.AssignStmt) {
+	var vals []value
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		vals = fr.evalMulti(s.Rhs[0], len(s.Lhs))
+	} else {
+		for i := range s.Lhs {
+			if i < len(s.Rhs) {
+				vals = append(vals, fr.eval(s.Rhs[i]))
+			} else {
+				vals = append(vals, value{})
+			}
+		}
+	}
+	for i, lhs := range s.Lhs {
+		v := vals[i]
+		// Compound assignment (+=, |=, ...) keeps the old taint too.
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			v.join(fr.eval(lhs))
+		}
+		if !v.tainted() {
+			continue
+		}
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			fr.taintObj(fr.lookupObj(l), v)
+		default:
+			// Sink check on non-identifier targets.
+			if fr.spec.SinkStore != nil {
+				if desc, ok := fr.spec.SinkStore(fr.pkg, lhs); ok {
+					fr.hitSink(desc, fr.pos(lhs), v, Step{fr.pos(lhs), "stored to " + desc})
+				}
+			}
+			// Weak update: storing into x.f or x[i] taints x itself, so
+			// a struct carrying a tainted field stays visible.
+			if root, obj, ok := rootOf(fr.pkg, fr.params, l); ok && root == localRoot {
+				fr.taintObj(obj, v)
+			}
+		}
+	}
+}
+
+func (fr *taintFrame) rangeStmt(s *ast.RangeStmt) {
+	v := fr.eval(s.X)
+	if !v.tainted() {
+		return
+	}
+	for _, k := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := k.(*ast.Ident); ok && id.Name != "_" {
+			fr.taintObj(fr.lookupObj(id), v)
+		}
+	}
+}
+
+func (fr *taintFrame) returnStmt(s *ast.ReturnStmt) {
+	record := func(i int, v value) {
+		if v.src != nil {
+			if _, ok := fr.sum.resultSrc[i]; !ok {
+				fr.sum.resultSrc[i] = v.src
+			}
+		}
+		for p, route := range v.params {
+			m := fr.sum.flow[p]
+			if m == nil {
+				m = map[int]Path{}
+				fr.sum.flow[p] = m
+			}
+			if _, ok := m[i]; !ok {
+				m[i] = route
+			}
+		}
+	}
+	if len(s.Results) == 0 {
+		// Naked return: named results carry the value.
+		for obj, i := range fr.results {
+			if v := fr.env[obj]; v != nil {
+				record(i, *v)
+			}
+		}
+		return
+	}
+	if len(s.Results) == 1 {
+		for i, v := range fr.evalMulti(s.Results[0], -1) {
+			record(i, v)
+		}
+		return
+	}
+	for i, r := range s.Results {
+		record(i, fr.eval(r))
+	}
+}
+
+// checkCallSinks applies SinkArg specs and callee sink-param summaries
+// to one call's arguments.
+func (fr *taintFrame) checkCallSinks(call *ast.CallExpr) {
+	obj, callee, recv := fr.e.Callee(fr.pkg, call)
+	if fr.spec.SinkArg != nil && obj != nil {
+		for i, arg := range call.Args {
+			desc, ok := fr.spec.SinkArg(fr.pkg, call, obj, i)
+			if !ok {
+				continue
+			}
+			v := fr.eval(arg)
+			if !v.tainted() {
+				continue
+			}
+			fr.hitSink(desc, fr.pos(call), v, Step{fr.pos(arg), "passed to " + desc})
+		}
+	}
+	if callee != nil {
+		if sum := fr.sums[callee.ID]; sum != nil && len(sum.sinkParam) > 0 {
+			for p, fact := range sum.sinkParam {
+				var v value
+				if p == recvParam {
+					if recv == nil {
+						continue
+					}
+					v = fr.eval(recv)
+				} else if p >= 0 && p < len(call.Args) {
+					v = fr.eval(call.Args[p])
+				} else {
+					continue
+				}
+				if !v.tainted() {
+					continue
+				}
+				v = v.step(Step{fr.pos(call), "passed to " + callee.name()})
+				fr.hitSinkAt(fact.desc, fact.pos, v, fact.path)
+			}
+		}
+	}
+}
+
+// hitSink records a sink hit whose sink step is the final one.
+func (fr *taintFrame) hitSink(desc string, pos token.Position, v value, sinkStep Step) {
+	fr.hitSinkAt(desc, pos, v, Path{sinkStep})
+}
+
+// hitSinkAt records a sink hit at pos with the given remaining route to
+// the sink: source-tainted values become findings (report mode),
+// parameter-tainted values become summary sink facts.
+func (fr *taintFrame) hitSinkAt(desc string, pos token.Position, v value, route Path) {
+	if v.src != nil && fr.report {
+		p := v.src
+		for _, s := range route {
+			p = extend(p, s)
+		}
+		fr.finds = append(fr.finds, TaintFinding{Pos: pos, Sink: desc, Path: p})
+	}
+	for param, pre := range v.params {
+		if _, ok := fr.sum.sinkParam[param]; ok {
+			continue
+		}
+		p := pre
+		for _, s := range route {
+			p = extend(p, s)
+		}
+		fr.sum.sinkParam[param] = sinkFact{desc: desc, pos: pos, path: p}
+	}
+}
+
+// eval returns the taint of an expression, unioning multi-values.
+func (fr *taintFrame) eval(e ast.Expr) value {
+	var out value
+	for _, v := range fr.evalMulti(e, -1) {
+		out.join(v)
+	}
+	return out
+}
+
+// evalMulti evaluates an expression in a multi-value context. want is
+// the expected arity (-1: whatever the expression yields).
+func (fr *taintFrame) evalMulti(e ast.Expr, want int) []value {
+	single := func(v value) []value {
+		if want <= 1 {
+			return []value{v}
+		}
+		out := make([]value, want)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	switch x := e.(type) {
+	case nil:
+		return single(value{})
+	case *ast.BasicLit, *ast.FuncLit:
+		return single(value{})
+	case *ast.Ident:
+		if v := fr.env[fr.lookupObj(x)]; v != nil {
+			return single(*v)
+		}
+		if obj := fr.lookupObj(x); obj != nil {
+			if p, ok := fr.params[obj]; ok {
+				return single(value{params: map[int]Path{p: nil}})
+			}
+		}
+		return single(value{})
+	case *ast.ParenExpr:
+		return fr.evalMulti(x.X, want)
+	case *ast.StarExpr:
+		return single(fr.eval(x.X))
+	case *ast.UnaryExpr:
+		return single(fr.eval(x.X))
+	case *ast.BinaryExpr:
+		v := fr.eval(x.X)
+		v.join(fr.eval(x.Y))
+		return single(v)
+	case *ast.SelectorExpr:
+		// Package-qualified name or field read: a field read of a
+		// tainted base is tainted; package-level vars are clean.
+		if id, ok := x.X.(*ast.Ident); ok && fr.pkg.Info != nil {
+			if _, isPkg := fr.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return single(value{})
+			}
+		}
+		return single(fr.eval(x.X))
+	case *ast.IndexExpr:
+		v := fr.eval(x.X)
+		v.join(fr.eval(x.Index))
+		return single(v)
+	case *ast.IndexListExpr:
+		return single(fr.eval(x.X))
+	case *ast.SliceExpr:
+		return single(fr.eval(x.X))
+	case *ast.TypeAssertExpr:
+		return single(fr.eval(x.X))
+	case *ast.CompositeLit:
+		var v value
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v.join(fr.eval(kv.Value))
+			} else {
+				v.join(fr.eval(el))
+			}
+		}
+		return single(v)
+	case *ast.CallExpr:
+		return fr.evalCall(x, want)
+	}
+	return single(value{})
+}
+
+// evalCall computes the taint of a call's results.
+func (fr *taintFrame) evalCall(call *ast.CallExpr, want int) []value {
+	obj, callee, recv := fr.e.Callee(fr.pkg, call)
+
+	n := want
+	if n < 1 {
+		n = 1
+		if obj != nil {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Results().Len() > 1 {
+				n = sig.Results().Len()
+			}
+		}
+	}
+	out := make([]value, n)
+	pos := fr.pos(call)
+
+	// Intrinsic sources.
+	if obj != nil && fr.spec.Source != nil {
+		if desc, ok := fr.spec.Source(obj); ok {
+			p := Path{{pos, desc}}
+			for i := range out {
+				out[i] = value{src: p}
+			}
+			return out
+		}
+	}
+	// //lint:source annotated declarations.
+	if callee != nil && callee.Source {
+		p := Path{{fr.posOf(callee.Decl.Name.Pos(), callee.Pkg), callee.SourceDesc}, {pos, "called here"}}
+		for i := range out {
+			out[i] = value{src: p}
+		}
+		return out
+	}
+
+	argVal := func(p int) (value, bool) {
+		if p == recvParam {
+			if recv == nil {
+				return value{}, false
+			}
+			return fr.eval(recv), true
+		}
+		if p >= 0 && p < len(call.Args) {
+			return fr.eval(call.Args[p]), true
+		}
+		return value{}, false
+	}
+
+	if callee != nil {
+		sum := fr.sums[callee.ID]
+		if sum != nil {
+			for i, p := range sum.resultSrc {
+				if i < n {
+					out[i].join(value{src: extend(p, Step{pos, "returned by " + callee.name()})})
+				}
+			}
+			for p, results := range sum.flow {
+				v, ok := argVal(p)
+				if !ok || !v.tainted() {
+					continue
+				}
+				stepped := v.step(Step{pos, "through " + callee.name()})
+				for i := range results {
+					if i < n {
+						out[i].join(stepped)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	// Opaque call (stdlib leaf, function value, interface method,
+	// conversion, builtin): conservative argument-to-result flow.
+	var v value
+	if recv != nil {
+		v.join(fr.eval(recv))
+	}
+	for _, arg := range call.Args {
+		v.join(fr.eval(arg))
+	}
+	if v.tainted() {
+		v = v.step(Step{pos, "through " + callDesc(call)})
+	}
+	for i := range out {
+		out[i].join(v)
+	}
+	return out
+}
+
+// callDesc renders an opaque callee for path steps.
+func callDesc(call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+func (fr *taintFrame) lookupObj(id *ast.Ident) types.Object {
+	if fr.pkg.Info == nil {
+		return nil
+	}
+	if obj := fr.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return fr.pkg.Info.Defs[id]
+}
+
+func (fr *taintFrame) taintObj(obj types.Object, v value) {
+	if obj == nil || !v.tainted() {
+		return
+	}
+	cur := fr.env[obj]
+	if cur == nil {
+		cur = &value{}
+		fr.env[obj] = cur
+	}
+	if cur.join(v) {
+		fr.changed = true
+	}
+}
+
+func (fr *taintFrame) pos(n ast.Node) token.Position {
+	return fr.pkg.Fset.Position(n.Pos())
+}
+
+func (fr *taintFrame) posOf(p token.Pos, pkg *Pkg) token.Position {
+	return pkg.Fset.Position(p)
+}

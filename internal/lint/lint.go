@@ -13,6 +13,21 @@
 //   - floateq: energies and matrix elements in the chemistry and linear
 //     algebra kernels must be compared with tolerances, never ==/!=.
 //
+// Three further checks are interprocedural, built on the
+// function-summary dataflow engine in the dataflow sub-package:
+//
+//   - clocktaint: wall-clock / global-rand values traced through helper
+//     calls must not reach Result fields, obs registry charges or
+//     exporters — the hole the syntactic determinism allowlist leaves
+//     open;
+//   - maporder: a range over a map whose body (directly or via calls)
+//     appends to an outliving slice, writes an io.Writer, charges the
+//     registry, or accumulates a float, makes map iteration order
+//     observable and breaks byte-identical output;
+//   - lockset: references to "// guarded by" fields must not escape
+//     their critical section (return, global store, channel send,
+//     goroutine capture).
+//
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/token, go/types); the module stays dependency-free.
 //
@@ -27,6 +42,8 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+
+	"execmodels/internal/lint/dataflow"
 )
 
 // A Finding is one diagnostic produced by an analyzer.
@@ -34,6 +51,12 @@ type Finding struct {
 	Pos     token.Position
 	Check   string // analyzer name, e.g. "determinism"
 	Message string
+
+	// Path is the rendered dataflow chain (source → call chain → sink)
+	// for findings from the interprocedural analyzers; nil for the
+	// syntactic checks. The driver and -json output surface it so a
+	// multi-hop flow can be triaged without re-deriving the call chain.
+	Path dataflow.Path
 }
 
 // String renders the finding in the canonical file:line:col form.
@@ -63,27 +86,48 @@ func All() []Analyzer {
 		NewGuardedBy(),
 		NewLockBalance(),
 		NewFloatEq(),
+		NewClockTaint(),
+		NewMapOrder(),
+		NewLockset(),
 	}
 }
 
 // Run applies the given analyzers to the given packages, honoring
 // AppliesTo and //lint:ignore suppressions, and returns the surviving
-// findings sorted by position.
+// findings sorted by position. Per-package analyzers run package by
+// package; ProgramAnalyzers run once over the whole package set so their
+// call-graph summaries see helpers in other packages.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 	var out []Finding
+	ignores := ignoreIndex{}
 	for _, pkg := range pkgs {
-		ignores, malformed := collectIgnores(pkg)
+		idx, malformed := collectIgnores(pkg)
 		out = append(out, malformed...)
+		for file, byLine := range idx {
+			ignores[file] = byLine
+		}
+	}
+	keep := func(findings []Finding) {
+		for _, f := range findings {
+			if !ignores.suppresses(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if _, program := a.(ProgramAnalyzer); program {
+				continue
+			}
 			if !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			for _, f := range a.Run(pkg) {
-				if ignores.suppresses(f) {
-					continue
-				}
-				out = append(out, f)
-			}
+			keep(a.Run(pkg))
+		}
+	}
+	for _, a := range analyzers {
+		if pa, ok := a.(ProgramAnalyzer); ok {
+			keep(pa.RunProgram(pkgs))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -97,7 +141,10 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Check < out[j].Check
+		if out[i].Check != out[j].Check {
+			return out[i].Check < out[j].Check
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out
 }

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"execmodels/internal/lint/dataflow"
+)
+
+// Lockset extends guardedby from access checking to escape analysis. A
+// "// guarded by mu" annotation promises that every access happens under
+// mu — guardedby verifies the accesses it can see, but a reference to
+// the guarded state that *escapes* the critical section makes the
+// promise unenforceable: whoever holds the reference can touch the data
+// after the mutex is released, and no per-statement check will ever see
+// it. Lockset therefore flags a guarded field whose value is
+//
+//   - returned (for reference-typed fields: pointer, slice, map, chan —
+//     returning a struct copy is fine), including returns laundered
+//     through identity-shaped helpers (seen via the dataflow engine's
+//     parameter-flow summaries),
+//   - returned or stored as an alias created with &field (any type),
+//   - stored to a package-level variable,
+//   - sent on a channel, or
+//   - captured by a goroutine launched in the method (the goroutine runs
+//     after the method's critical section ends).
+//
+// Deliberate hand-offs (e.g. returning an internally-synchronized
+// registry pointer whose *installation* is what the mutex guards) are
+// documented with //lint:ignore lockset <reason> at the escape site.
+type Lockset struct{}
+
+// NewLockset returns the analyzer.
+func NewLockset() *Lockset { return &Lockset{} }
+
+// Name implements Analyzer.
+func (*Lockset) Name() string { return "lockset" }
+
+// Doc implements Analyzer.
+func (*Lockset) Doc() string {
+	return "references to '// guarded by' fields must not escape the critical section (return, global, channel, goroutine)"
+}
+
+// AppliesTo implements Analyzer: annotations are opt-in, so the check is
+// cheap to run everywhere.
+func (*Lockset) AppliesTo(string) bool { return true }
+
+// Run implements Analyzer on a single package (fixture tests).
+func (l *Lockset) Run(pkg *Package) []Finding {
+	return l.RunProgram([]*Package{pkg})
+}
+
+// guardedField is one annotated field of one struct type.
+type guardedField struct {
+	guard string
+	ref   bool // reference-typed: escapes by value, not only by address
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (l *Lockset) RunProgram(pkgs []*Package) []Finding {
+	eng := dataflow.New(dataflowPkgs(pkgs))
+	flows := eng.ParamFlows()
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		guards := collectGuardedFields(pkg)
+		if len(guards) == 0 {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+					continue
+				}
+				gf, ok := guards[receiverTypeName(fd.Recv.List[0].Type)]
+				if !ok {
+					continue
+				}
+				recvObj, recvName := receiverIdent(pkg, fd.Recv.List[0])
+				if recvName == "" {
+					continue
+				}
+				out = append(out, l.checkMethod(pkg, eng, flows, fd, gf, recvObj, recvName)...)
+			}
+		}
+	}
+	return out
+}
+
+// collectGuardedFields gathers "// guarded by" annotations per struct
+// type, recording whether each field's type is reference-shaped.
+func collectGuardedFields(pkg *Package) map[string]map[string]guardedField {
+	out := map[string]map[string]guardedField{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				guard, ok := fieldAnnotation(f)
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					m := out[ts.Name.Name]
+					if m == nil {
+						m = map[string]guardedField{}
+						out[ts.Name.Name] = m
+					}
+					m[name.Name] = guardedField{guard: guard, ref: isRefType(pkg, name)}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRefType reports whether the declared field's type is
+// reference-shaped: handing out its value aliases the guarded state.
+func isRefType(pkg *Package, name *ast.Ident) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	obj := pkg.Info.Defs[name]
+	if obj == nil {
+		return false
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkMethod walks one method body for escapes of guarded fields.
+func (l *Lockset) checkMethod(pkg *Package, eng *dataflow.Engine, flows map[string]map[int]map[int]bool, fd *ast.FuncDecl, gf map[string]guardedField, recvObj types.Object, recvName string) []Finding {
+	var out []Finding
+	typeName := receiverTypeName(fd.Recv.List[0].Type)
+	report := func(n ast.Node, field string, g guardedField, how string) {
+		out = append(out, Finding{
+			Pos:   pkg.Fset.Position(n.Pos()),
+			Check: l.Name(),
+			Message: fmt.Sprintf("%s.%s: reference to %s (guarded by %s) %s — it outlives the critical section",
+				typeName, fd.Name.Name, field, g.guard, how),
+		})
+	}
+
+	// escaping reports the guarded field an expression aliases, if any:
+	// the field itself (when reference-typed), a slice of it, or its
+	// address (any type).
+	escaping := func(e ast.Expr) (string, guardedField, bool) {
+		e = unparenExpr(e)
+		addr := false
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			addr = true
+			e = unparenExpr(u.X)
+		}
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			e = unparenExpr(sl.X) // a subslice shares the backing array
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || !isReceiver(pkg, sel.X, recvObj, recvName) {
+			return "", guardedField{}, false
+		}
+		g, ok := gf[sel.Sel.Name]
+		if !ok || (!g.ref && !addr) {
+			return "", guardedField{}, false
+		}
+		return sel.Sel.Name, g, true
+	}
+
+	var inGo int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			// Everything the goroutine touches runs after this method's
+			// locks are gone: a plain *read* of a guarded field inside is
+			// already an escape.
+			inGo++
+			ast.Inspect(s.Call, walk)
+			inGo--
+			return false
+		case *ast.SelectorExpr:
+			if inGo > 0 && isReceiver(pkg, s.X, recvObj, recvName) {
+				if g, ok := gf[s.Sel.Name]; ok {
+					report(s, s.Sel.Name, g, "is captured by a goroutine")
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if field, g, ok := escaping(r); ok {
+					report(r, field, g, "is returned")
+					continue
+				}
+				// Identity-shaped helper: return helper(w.field) where
+				// the helper's summary says the argument flows to a
+				// result.
+				if call, ok := unparenExpr(r).(*ast.CallExpr); ok {
+					out = append(out, l.checkLaunderedReturn(pkg, eng, flows, call, escaping, typeName, fd)...)
+				}
+			}
+		case *ast.SendStmt:
+			if field, g, ok := escaping(s.Value); ok {
+				report(s.Value, field, g, "is sent on a channel")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				field, g, ok := escaping(s.Rhs[i])
+				if !ok {
+					continue
+				}
+				if root := globalTarget(pkg, lhs); root != "" {
+					report(s.Rhs[i], field, g, "is stored to package-level "+root)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return out
+}
+
+// checkLaunderedReturn flags `return helper(w.field)` when the helper's
+// parameter-flow summary carries the argument into a result.
+func (l *Lockset) checkLaunderedReturn(pkg *Package, eng *dataflow.Engine, flows map[string]map[int]map[int]bool, call *ast.CallExpr, escaping func(ast.Expr) (string, guardedField, bool), typeName string, fd *ast.FuncDecl) []Finding {
+	dp := &dataflow.Pkg{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info}
+	obj, _, _ := eng.Callee(dp, call)
+	if obj == nil {
+		return nil
+	}
+	flow := flows[dataflow.FuncID(obj)]
+	if len(flow) == 0 {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	for i, arg := range call.Args {
+		if len(flow[i]) == 0 || i >= sig.Params().Len() {
+			continue
+		}
+		// Only identity-shaped flows alias: a helper returning the same
+		// type it took (min, coalesce, clamp) hands the reference back.
+		// A helper deriving a fresh value of another type (sortedKeys:
+		// map → []string of copied keys) does not.
+		aliases := false
+		for r := range flow[i] {
+			if r >= 0 && r < sig.Results().Len() &&
+				types.Identical(sig.Params().At(i).Type(), sig.Results().At(r).Type()) {
+				aliases = true
+				break
+			}
+		}
+		if !aliases {
+			continue
+		}
+		field, g, ok := escaping(arg)
+		if !ok {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:   pkg.Fset.Position(arg.Pos()),
+			Check: l.Name(),
+			Message: fmt.Sprintf("%s.%s: reference to %s (guarded by %s) is returned through %s — it outlives the critical section",
+				typeName, fd.Name.Name, field, g.guard, obj.Name()),
+		})
+	}
+	return out
+}
+
+// globalTarget reports the name of the package-level variable an
+// assignment target writes, or "" when the target is not package-level.
+func globalTarget(pkg *Package, lhs ast.Expr) string {
+	obj := baseObject(pkg, lhs)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return ""
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return v.Name()
+	}
+	return ""
+}
+
+// unparenExpr strips parentheses.
+func unparenExpr(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,71 @@
+// Package clocktaint is an execlint fixture: wall-clock and global-rand
+// values laundered through helpers must be caught on their way into
+// Result fields and registry charges, with the full call chain rendered.
+package clocktaint
+
+import (
+	"math/rand"
+	"time"
+
+	"execmodels/internal/obs"
+)
+
+// Result mirrors core.Result: the struct the byte-identical guarantee
+// covers.
+type Result struct {
+	Makespan     float64
+	ScheduleCost float64
+}
+
+// stamp launders time.Now through one call hop.
+func stamp() time.Time { return time.Now() }
+
+// sinceSeconds launders time.Since through a second hop.
+func sinceSeconds(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+
+// scale is a pure pass-through: taint must survive it.
+func scale(x float64) float64 { return 2 * x }
+
+// runLaundered is the multi-hop case: source and sink are three calls
+// apart and never mentioned in the same function.
+func runLaundered(res *Result) {
+	t0 := stamp()
+	cost := scale(sinceSeconds(t0))
+	res.ScheduleCost = cost // want `nondeterministic value reaches clocktaint\.Result field ScheduleCost.*time\.Since.*sinceSeconds.*scale`
+}
+
+// runVirtual stores a value derived only from deterministic state.
+func runVirtual(res *Result, clock float64) {
+	res.Makespan = clock // clean: virtual time, no taint
+}
+
+// seeded uses an explicit seeded stream: methods on *rand.Rand are
+// deterministic and must not be treated as sources.
+func seeded(res *Result) {
+	r := rand.New(rand.NewSource(42))
+	res.Makespan = r.Float64() // clean: seeded stream
+}
+
+// directCharge feeds the shared global generator straight into a metric.
+func directCharge(reg *obs.Registry) {
+	jitter := rand.Float64()
+	reg.Add("noise_seconds", 0, jitter) // want `nondeterministic value reaches obs\.Registry\.Add.*global rand\.Float64`
+}
+
+// chargeHelper reaches the registry one hop down; the finding is
+// reported here, at the ultimate sink, where a suppression would belong.
+func chargeHelper(reg *obs.Registry, v float64) {
+	reg.Add("helper_seconds", 0, v) // want `nondeterministic value reaches obs\.Registry\.Add.*time\.Now.*passed to clocktaint\.chargeHelper`
+}
+
+// indirectCharge taints an argument and hands it to chargeHelper.
+func indirectCharge(reg *obs.Registry) {
+	t0 := time.Now()
+	chargeHelper(reg, float64(t0.Nanosecond()))
+}
+
+var _ = runLaundered
+var _ = runVirtual
+var _ = seeded
+var _ = directCharge
+var _ = indirectCharge

@@ -1,0 +1,86 @@
+// Package lockset is an execlint fixture: references to "// guarded by"
+// fields must not escape their critical section.
+package lockset
+
+import "sync"
+
+// Buf is the annotated struct under test.
+type Buf struct {
+	mu    sync.Mutex
+	items []int         // guarded by mu
+	n     int           // guarded by mu
+	done  chan struct{} // guarded by mu
+}
+
+var leaked []int
+
+// Items hands the guarded slice itself to the caller.
+func (b *Buf) Items() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.items // want `reference to items \(guarded by mu\) is returned`
+}
+
+// Snapshot returns a copy: the guarded backing array stays private.
+func (b *Buf) Snapshot() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, len(b.items))
+	copy(out, b.items)
+	return out // clean: a fresh copy escapes, not the guarded state
+}
+
+// Head returns a subslice, which shares the guarded backing array.
+func (b *Buf) Head() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.items[:1] // want `reference to items \(guarded by mu\) is returned`
+}
+
+// CountPtr escapes the address of a guarded value field.
+func (b *Buf) CountPtr() *int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &b.n // want `reference to n \(guarded by mu\) is returned`
+}
+
+// Len returns the guarded int by value: a copy, not a reference.
+func (b *Buf) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n // clean: value copy
+}
+
+// Leak stores the guarded slice into a package-level variable.
+func (b *Buf) Leak() {
+	b.mu.Lock()
+	leaked = b.items // want `reference to items \(guarded by mu\) is stored to package-level leaked`
+	b.mu.Unlock()
+}
+
+// Send ships the guarded slice to whoever reads the channel.
+func (b *Buf) Send(ch chan []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.items // want `reference to items \(guarded by mu\) is sent on a channel`
+}
+
+// Async touches guarded state from a goroutine that runs after the
+// method's critical section has ended.
+func (b *Buf) Async() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		_ = b.items // want `reference to items \(guarded by mu\) is captured by a goroutine`
+	}()
+}
+
+// pass is an identity-shaped helper: it hands its argument back.
+func pass(s []int) []int { return s }
+
+// Laundered escapes the guarded slice through the helper.
+func (b *Buf) Laundered() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return pass(b.items) // want `reference to items \(guarded by mu\) is returned through pass`
+}

@@ -1,0 +1,112 @@
+// Package maporder is an execlint fixture: ranging over a map must not
+// make the iteration order observable — directly or through helpers.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"execmodels/internal/obs"
+)
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is observable: unsorted append to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned idiom: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // clean: keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printDirect writes stdout in map order.
+func printDirect(m map[string]int) {
+	for k, v := range m { // want `map iteration order is observable.*writes os\.Stdout`
+		fmt.Println(k, v)
+	}
+}
+
+// dump writes an io.Writer in map order.
+func dump(w io.Writer, m map[string]string) {
+	for k := range m { // want `map iteration order is observable.*writes w`
+		io.WriteString(w, k)
+	}
+}
+
+// emit is the helper the next case reaches the effect through.
+func emit(out *[]string, s string) {
+	*out = append(*out, s)
+}
+
+// collectViaHelper leaks map order through one call hop.
+func collectViaHelper(m map[string]int) []string {
+	var acc []string
+	for k := range m { // want `map iteration order is observable: unsorted append to \*out`
+		emit(&acc, k)
+	}
+	return acc
+}
+
+// fill appends into caller-visible state from inside the loop.
+func fill(m map[string]int, out *[]string) {
+	for k := range m { // want `unsorted append to \*out`
+		*out = append(*out, k)
+	}
+}
+
+// chargeAll charges the metric registry in map order; gauge adds are
+// float additions, so the exported bytes depend on visit order.
+func chargeAll(reg *obs.Registry, m map[string]float64) {
+	for _, v := range m { // want `charges the metric registry`
+		reg.Add("x_seconds", 0, v)
+	}
+}
+
+// sumFloats accumulates a float across iterations: addition does not
+// associate, so the low bits depend on visit order.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `float accumulation s`
+		s += v
+	}
+	return s
+}
+
+// countEntries accumulates an int: associative, order-safe.
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m { // clean: integer addition associates
+		n++
+	}
+	return n
+}
+
+// innerLocal appends only to a slice that dies inside the loop body.
+func innerLocal(m map[string][]int) {
+	for _, vs := range m { // clean: tmp does not outlive the iteration
+		var tmp []int
+		tmp = append(tmp, vs...)
+		_ = tmp
+	}
+}
+
+var _ = collectUnsorted
+var _ = sortedKeys
+var _ = printDirect
+var _ = dump
+var _ = collectViaHelper
+var _ = fill
+var _ = chargeAll
+var _ = sumFloats
+var _ = countEntries
+var _ = innerLocal

@@ -1,0 +1,23 @@
+// Package taintignore is an execlint fixture for suppressing
+// interprocedural findings: because flows are reported at the ultimate
+// sink, one //lint:ignore at the sink line silences the whole chain.
+package taintignore
+
+import "time"
+
+// Result mirrors core.Result.
+type Result struct{ ScheduleCost float64 }
+
+// cost launders the wall clock through a helper.
+func cost() float64 { return time.Since(time.Now()).Seconds() }
+
+// storeDocumented carries a justified suppression at the sink.
+func storeDocumented(res *Result) {
+	//lint:ignore clocktaint fixture: documented wall-clock quantity, mirrors core.Result.ScheduleCost
+	res.ScheduleCost = cost()
+}
+
+// storeLoud has no suppression and must be reported.
+func storeLoud(res *Result) {
+	res.ScheduleCost = cost()
+}

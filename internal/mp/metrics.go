@@ -22,6 +22,7 @@ func (w *World) SetMetrics(reg *obs.Registry) {
 func (w *World) metricsReg() *obs.Registry {
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
+	//lint:ignore lockset obs.Registry is internally mutex-protected; fmu only guards installing/removing the pointer, so handing the pointer out is safe
 	return w.metrics
 }
 

@@ -130,10 +130,13 @@ func AnalyzeBlame(reg *Registry, trace *Trace, model string, ranks int, makespan
 
 // Total returns the summed rank-seconds over all components including
 // idle; by construction it equals Makespan × Ranks up to float rounding.
+// Summation follows the fixed component order: float addition does not
+// associate, so summing in map order would make the low bits of the
+// total depend on iteration order.
 func (b *Blame) Total() float64 {
 	var s float64
-	for _, v := range b.Components {
-		s += v
+	for _, key := range sortedKeys(b.Components) {
+		s += b.Components[key]
 	}
 	return s
 }

@@ -78,9 +78,9 @@ type histVec struct {
 type Registry struct {
 	mu       sync.Mutex
 	ranks    int
-	counters map[string][]int64
-	gauges   map[string][]float64
-	hists    map[string]*histVec
+	counters map[string][]int64   // guarded by mu
+	gauges   map[string][]float64 // guarded by mu
+	hists    map[string]*histVec  // guarded by mu
 }
 
 // NewRegistry creates a registry for a run over the given rank count.
