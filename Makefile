@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint lint-determinism bench cover cover-check fuzz blame metrics experiments figures faults clean
+.PHONY: all build test race lint lint-determinism bench bench-wall cover cover-check fuzz blame metrics experiments figures faults clean
 
 all: build test lint
 
@@ -33,6 +33,15 @@ lint-determinism:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerate the committed wall-clock Fock benchmark report: the real
+# (non-simulated) executors at several worker counts, the pre-arena
+# baseline vs the scratch-arena hot path, ns/task, GFLOP/s, allocs/task
+# and steal/counter telemetry. Numbers are host-dependent; the committed
+# file records the reference machine in its goos/gomaxprocs fields.
+bench-wall:
+	go run ./cmd/benchsuite -wall BENCH_wall.json -scale small
+	go run ./cmd/benchsuite -exp W1 -scale small
 
 cover:
 	go test -coverprofile=cover.out ./internal/...

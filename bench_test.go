@@ -76,6 +76,9 @@ func BenchmarkAblationChunkSize(b *testing.B)    { runExperiment(b, "A6") }
 func BenchmarkAblationSelfSched(b *testing.B)    { runExperiment(b, "A7") }
 func BenchmarkAblationFMRefiner(b *testing.B)    { runExperiment(b, "A8") }
 
+// Wall-clock backend (BENCH_wall.json; `make bench-wall`).
+func BenchmarkWallBackend(b *testing.B) { runExperiment(b, "W1") }
+
 // --- kernel micro-benchmarks ---
 
 func waterBasis(b *testing.B, n int, name string) (*chem.Molecule, *chem.BasisSet) {
@@ -252,6 +255,36 @@ func BenchmarkSimDynamicCounter(b *testing.B) {
 	}
 }
 
+// Before/after pair for the worker scratch arena: the baseline path
+// allocates its ERI block, Hermite tables and Boys workspace per
+// quartet; the arena path reuses one scratch across the whole sweep.
+func BenchmarkExecuteTaskBaseline(b *testing.B) {
+	_, bs := waterBasis(b, 1, "sto-3g")
+	w := chem.BuildFockWorkload(bs, 1e-9, 4)
+	d := linalg.Identity(bs.NBF)
+	j := linalg.NewMatrix(bs.NBF, bs.NBF)
+	k := linalg.NewMatrix(bs.NBF, bs.NBF)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ExecuteTaskBaseline(&w.Tasks[i%len(w.Tasks)], d, j, k)
+	}
+}
+
+func BenchmarkExecuteTaskArena(b *testing.B) {
+	_, bs := waterBasis(b, 1, "sto-3g")
+	w := chem.BuildFockWorkload(bs, 1e-9, 4)
+	d := linalg.Identity(bs.NBF)
+	j := linalg.NewMatrix(bs.NBF, bs.NBF)
+	k := linalg.NewMatrix(bs.NBF, bs.NBF)
+	scratch := w.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ExecuteTaskScratch(&w.Tasks[i%len(w.Tasks)], d, j, k, scratch)
+	}
+}
+
 func BenchmarkWallStealingFock(b *testing.B) {
 	mol, bs := waterBasis(b, 2, "sto-3g")
 	w := chem.BuildFockWorkload(bs, 1e-9, 4)
@@ -270,7 +303,7 @@ func init() {
 	for _, id := range bench.Experiments() {
 		want[id] = true
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W1"} {
 		if !want[id] {
 			panic(fmt.Sprintf("bench_test: experiment %s missing from registry", id))
 		}

@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment ID (F1..F9, T1..T8, A1..A8), comma list, or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID (F1..F9, T1..T9, A1..A8, W1), comma list, or 'all'")
 		scale     = flag.String("scale", "small", "workload scale: small | paper")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		list      = flag.Bool("list", false, "list available experiments and exit")
@@ -34,6 +34,7 @@ func main() {
 		dump      = flag.String("dump", "", "write the suite's chemistry workload as JSON to this file and exit")
 		svgDir    = flag.String("svg", "", "render the figure experiments (F2-F7) as SVG charts into this directory and exit")
 		metrics   = flag.String("metrics", "", "run every model at -ranks and write OpenMetrics dumps, JSON summaries and blame tables into this directory, then exit")
+		wallOut   = flag.String("wall", "", "run the wall-clock Fock benchmark and write its JSON report (BENCH_wall.json) to this file, then exit")
 	)
 	flag.Parse()
 
@@ -56,6 +57,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s-scale chemistry workload to %s\n", *scale, *dump)
+		return
+	}
+	if *wallOut != "" {
+		f, err := os.Create(*wallOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteWallBench(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s-scale wall-clock benchmark report to %s\n", *scale, *wallOut)
 		return
 	}
 	if *metrics != "" {

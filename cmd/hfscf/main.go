@@ -35,7 +35,8 @@ func main() {
 		screen   = flag.Float64("screen", 1e-10, "Schwarz screening threshold")
 		block    = flag.Int("block", 4, "bra-pair block size for the Fock workload")
 		orbitals = flag.Bool("orbitals", false, "print orbital energies")
-		seed     = flag.Int64("seed", 7, "geometry seed for generated molecules")
+		seed     = flag.Int64("seed", 7, "seed for generated geometries and the work-stealing scheduler")
+		dynblock = flag.Int("dynblock", 1, "tasks fetched per shared-counter op in -mode dynamic")
 		diis     = flag.Bool("diis", true, "DIIS convergence acceleration")
 		mp2      = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems only)")
 		props    = flag.Bool("properties", false, "print dipole moment and Mulliken charges")
@@ -62,7 +63,8 @@ func main() {
 
 	var builder chem.FockBuilder
 	if *mode != "serial" {
-		builder, err = core.ParallelFockBuilder(*mode, *workers)
+		builder, err = core.ParallelFockBuilder(*mode, *workers,
+			core.WallOptions{Seed: *seed, Block: *dynblock})
 		if err != nil {
 			log.Fatal(err)
 		}

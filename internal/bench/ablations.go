@@ -38,7 +38,7 @@ func (s *Suite) AblationWallVsSim() *Table {
 	}
 	for _, pr := range []pair{
 		{"static-block", func() *core.WallResult { return core.WallStatic(s.fock, h, d, workers) }, core.StaticBlock{}},
-		{"dynamic-counter", func() *core.WallResult { return core.WallDynamic(s.fock, h, d, workers) }, core.DynamicCounter{Chunk: 1}},
+		{"dynamic-counter", func() *core.WallResult { return core.WallDynamic(s.fock, h, d, workers, 1) }, core.DynamicCounter{Chunk: 1}},
 		{"work-stealing", func() *core.WallResult { return core.WallStealing(s.fock, h, d, workers, s.Seed) }, core.WorkStealing{Seed: s.Seed}},
 	} {
 		wr := pr.wall()

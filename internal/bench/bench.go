@@ -201,6 +201,7 @@ var registry = map[string]func(*Suite) *Table{
 	"F9": (*Suite).Figure9,
 	"T8": (*Suite).Table8,
 	"T9": (*Suite).Table9,
+	"W1": (*Suite).WallBenchTable,
 }
 
 // Known reports whether id names a registered experiment — the fail-fast

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/core"
+	"execmodels/internal/linalg"
+)
+
+// WallBenchRow is one measured configuration of the wall-clock Fock
+// backend: a (molecule, mode, workers) point of the perf trajectory.
+type WallBenchRow struct {
+	Molecule      string  `json:"molecule"`
+	Mode          string  `json:"mode"` // serial-baseline | serial-arena | static | dynamic | stealing
+	Workers       int     `json:"workers"`
+	Tasks         int     `json:"tasks"`
+	NsPerTask     float64 `json:"ns_per_task"`
+	GFlops        float64 `json:"gflops"`
+	AllocsPerTask float64 `json:"allocs_per_task"`
+	// Speedup is serial-arena elapsed / this run's elapsed, so the
+	// serial-arena row is 1 by construction and the serial-baseline row
+	// is < 1 by exactly the arena's hot-path improvement factor.
+	Speedup    float64 `json:"speedup_vs_serial_arena"`
+	Steals     int64   `json:"steals,omitempty"`
+	StealRetry int64   `json:"steal_retries,omitempty"`
+	CounterOps int64   `json:"counter_ops,omitempty"`
+}
+
+// WallBenchReport is the machine-readable output of the wall-clock
+// benchmark (committed as BENCH_wall.json; regenerate with
+// `make bench-wall`).
+type WallBenchReport struct {
+	Scale      string         `json:"scale"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Seed       int64          `json:"seed"`
+	DynBlock   int            `json:"dyn_block"`
+	Note       string         `json:"note,omitempty"`
+	Rows       []WallBenchRow `json:"rows"`
+}
+
+// wallMolecule is one input of the wall benchmark.
+type wallMolecule struct {
+	name string
+	mol  *chem.Molecule
+}
+
+// wallMolecules returns the benchmark inputs: the quickstart molecule
+// (water, the hfscf default) and a water cluster sized by scale.
+func (s *Suite) wallMolecules() []wallMolecule {
+	n := 4
+	if s.Scale == "paper" {
+		n = 8
+	}
+	return []wallMolecule{
+		{"water", chem.Water()},
+		{f("waters:%d", n), chem.WaterCluster(n, s.Seed)},
+	}
+}
+
+// wallWorkers returns the worker-count sweep.
+func (s *Suite) wallWorkers() []int {
+	if s.Scale == "paper" {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 4}
+}
+
+// wallDynBlock is the NXTVAL fetch block used by the dynamic rows.
+const wallDynBlock = 4
+
+// serialSweeps runs full serial sweeps over the workload until minTime
+// has elapsed (at least once), returning elapsed time, sweep count and
+// heap allocations per executed task.
+func serialSweeps(fw *chem.FockWorkload, d *linalg.Matrix, baseline bool, minTime time.Duration) (time.Duration, int, float64) {
+	n := fw.Basis.NBF
+	j := linalg.NewMatrix(n, n)
+	k := linalg.NewMatrix(n, n)
+	scratch := fw.NewScratch()
+	sweep := func() {
+		for i := range fw.Tasks {
+			if baseline {
+				fw.ExecuteTaskBaseline(&fw.Tasks[i], d, j, k)
+			} else {
+				fw.ExecuteTaskScratch(&fw.Tasks[i], d, j, k, scratch)
+			}
+		}
+	}
+	sweep() // warm-up: grow lazily-sized buffers, fault in pair data
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var elapsed time.Duration
+	sweeps := 0
+	for elapsed < minTime || sweeps == 0 {
+		sweep()
+		sweeps++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(sweeps*len(fw.Tasks))
+	return elapsed, sweeps, allocs
+}
+
+// wallModeRun executes one (mode, workers) configuration reps times and
+// returns the fastest result plus allocations per task of the first run.
+func wallModeRun(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int, seed int64, reps int) (*core.WallResult, float64) {
+	run := func() *core.WallResult {
+		switch mode {
+		case "static":
+			return core.WallStatic(fw, h, d, workers)
+		case "dynamic":
+			return core.WallDynamic(fw, h, d, workers, block)
+		case "stealing":
+			return core.WallStealing(fw, h, d, workers, seed)
+		}
+		panic("bench: unknown wall mode " + mode)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	best := run()
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(len(fw.Tasks))
+	for i := 1; i < reps; i++ {
+		if r := run(); r.Elapsed < best.Elapsed {
+			best = r
+		}
+	}
+	return best, allocs
+}
+
+// WallBench measures the wall-clock Fock backend: the retained pre-arena
+// serial path ("before"), the arena serial path ("after"), and the three
+// parallel modes across the worker sweep, on each benchmark molecule.
+func (s *Suite) WallBench() *WallBenchReport {
+	rep := &WallBenchReport{
+		Scale:      s.Scale,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       s.Seed,
+		DynBlock:   wallDynBlock,
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "single-core host: parallel rows degenerate to serial time plus scheduling overhead; compare ns/task and allocs/task"
+	}
+	minTime := 100 * time.Millisecond
+	reps := 3
+	if s.Scale == "paper" {
+		minTime = 300 * time.Millisecond
+	}
+	for _, wm := range s.wallMolecules() {
+		bs, err := chem.NewBasis("sto-3g", wm.mol)
+		if err != nil {
+			panic(err)
+		}
+		fw := chem.BuildFockWorkload(bs, 1e-9, 4)
+		h := chem.CoreHamiltonian(bs, wm.mol)
+		d := linalg.Identity(bs.NBF)
+		nt := len(fw.Tasks)
+		flops := fw.TotalFlops()
+
+		baseEl, baseSw, baseAllocs := serialSweeps(fw, d, true, minTime)
+		arenaEl, arenaSw, arenaAllocs := serialSweeps(fw, d, false, minTime)
+		basePerSweep := baseEl / time.Duration(baseSw)
+		arenaPerSweep := arenaEl / time.Duration(arenaSw)
+		rep.Rows = append(rep.Rows,
+			WallBenchRow{
+				Molecule: wm.name, Mode: "serial-baseline", Workers: 1, Tasks: nt,
+				NsPerTask:     float64(basePerSweep.Nanoseconds()) / float64(nt),
+				GFlops:        flops / basePerSweep.Seconds() / 1e9,
+				AllocsPerTask: baseAllocs,
+				Speedup:       arenaPerSweep.Seconds() / basePerSweep.Seconds(),
+			},
+			WallBenchRow{
+				Molecule: wm.name, Mode: "serial-arena", Workers: 1, Tasks: nt,
+				NsPerTask:     float64(arenaPerSweep.Nanoseconds()) / float64(nt),
+				GFlops:        flops / arenaPerSweep.Seconds() / 1e9,
+				AllocsPerTask: arenaAllocs,
+				Speedup:       1,
+			})
+
+		for _, workers := range s.wallWorkers() {
+			for _, mode := range []string{"static", "dynamic", "stealing"} {
+				res, allocs := wallModeRun(mode, fw, h, d, workers, wallDynBlock, s.Seed, reps)
+				row := WallBenchRow{
+					Molecule: wm.name, Mode: mode, Workers: workers, Tasks: nt,
+					NsPerTask:     float64(res.Elapsed.Nanoseconds()) / float64(nt),
+					GFlops:        flops / res.Elapsed.Seconds() / 1e9,
+					AllocsPerTask: allocs,
+					Speedup:       arenaPerSweep.Seconds() / res.Elapsed.Seconds(),
+					Steals:        res.Steals,
+					StealRetry:    res.StealRetry,
+					CounterOps:    res.CounterOps,
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep
+}
+
+// WriteWallBench runs WallBench and writes the JSON report to w.
+func (s *Suite) WriteWallBench(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.WallBench())
+}
+
+// WallBenchTable (W1) renders the wall benchmark as an aligned table —
+// the human-readable view of BENCH_wall.json.
+func (s *Suite) WallBenchTable() *Table {
+	rep := s.WallBench()
+	t := &Table{
+		ID:     "W1",
+		Title:  f("wall-clock Fock backend, %s scale (GOMAXPROCS=%d)", rep.Scale, rep.GOMAXPROCS),
+		Header: []string{"molecule", "mode", "workers", "ns/task", "GFLOP/s", "allocs/task", "speedup"},
+	}
+	improvement := map[string]float64{}
+	nsPerTask := map[string]float64{}
+	for _, r := range rep.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Molecule, r.Mode, f("%d", r.Workers),
+			f("%.0f", r.NsPerTask), f("%.3f", r.GFlops),
+			f("%.1f", r.AllocsPerTask), f("%.2fx", r.Speedup),
+		})
+		switch r.Mode {
+		case "serial-baseline":
+			nsPerTask[r.Molecule] = r.NsPerTask
+		case "serial-arena":
+			if base := nsPerTask[r.Molecule]; base > 0 && r.NsPerTask > 0 {
+				improvement[r.Molecule] = base / r.NsPerTask
+			}
+		}
+	}
+	for _, wm := range s.wallMolecules() {
+		if imp, ok := improvement[wm.name]; ok {
+			t.Notes = append(t.Notes,
+				f("%s: arena hot path is %.2fx the pre-arena baseline at 1 worker (gate: >= 2x on the quickstart molecule)", wm.name, imp))
+		}
+	}
+	if rep.Note != "" {
+		t.Notes = append(t.Notes, rep.Note)
+	}
+	return t
+}

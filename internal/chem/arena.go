@@ -1,0 +1,46 @@
+package chem
+
+import "execmodels/internal/linalg"
+
+// ERIScratch is a per-worker scratch arena for the two-electron hot path:
+// the ERI block buffer, the Hermite R / Boys workspace and the small
+// digest accumulators are allocated once and reused for every quartet, so
+// the steady-state Fock build performs zero heap allocations per task.
+//
+// A scratch is not safe for concurrent use; each worker goroutine owns
+// its own (see core.wallRun). The zero value works and grows on demand,
+// but NewERIScratch pre-sizes everything so even the first task is
+// allocation-free.
+type ERIScratch struct {
+	blk  []float64 // ERI shell-quartet block buffer
+	kAcc []float64 // per-σ exchange accumulators (one per K matrix)
+	ks   [2]*linalg.Matrix
+	dks  [2]*linalg.Matrix
+	rw   hermiteRWork
+}
+
+// NewERIScratch returns a scratch arena pre-sized for the largest shell
+// quartet the basis set can produce.
+func NewERIScratch(bs *BasisSet) *ERIScratch {
+	maxNF, maxL := 1, 0
+	for i := range bs.Shells {
+		if nf := bs.Shells[i].NumFuncs(); nf > maxNF {
+			maxNF = nf
+		}
+		if l := bs.Shells[i].L; l > maxL {
+			maxL = l
+		}
+	}
+	s := &ERIScratch{
+		blk:  make([]float64, maxNF*maxNF*maxNF*maxNF),
+		kAcc: make([]float64, 2),
+	}
+	s.rw.grow(4 * maxL)
+	return s
+}
+
+// NewScratch returns a scratch arena sized for the workload's basis set.
+// Every worker of a parallel Fock build should hold exactly one.
+func (w *FockWorkload) NewScratch() *ERIScratch {
+	return NewERIScratch(w.Basis)
+}

@@ -1,0 +1,106 @@
+package chem
+
+import "math"
+
+// This file preserves the pre-arena ERI hot path verbatim. It is not
+// called by any executor: ExecuteTaskBaseline uses it as the "before"
+// point of the repo's perf trajectory (BENCH_wall.json, the
+// BenchmarkExecuteTask* pair) and tests pin its output bitwise against
+// the arena path. Its per-quartet costs are the point: a fresh result
+// block, fresh Hermite R tables per primitive pair, per-call Cartesian
+// component tables and a π^{5/2} power in the primitive loop.
+
+// eriBlockPairBaseline is the original ERIBlockPair. The result layout
+// matches ERIBlock(bra.A, bra.B, ket.A, ket.B).
+func eriBlockPairBaseline(bra, ket *PairData) []float64 {
+	a, b, c, d := bra.A, bra.B, ket.A, ket.B
+	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
+	blk := make([]float64, na*nb*nc*nd)
+	ca, cb, cc, cd := makeComponents(a.L), makeComponents(b.L), makeComponents(c.L), makeComponents(d.L)
+	ltot := a.L + b.L + c.L + d.L
+
+	for _, pp := range bra.prims {
+		e1x, e1y, e1z := pp.ex, pp.ey, pp.ez
+		for _, qq := range ket.prims {
+			e2x, e2y, e2z := qq.ex, qq.ey, qq.ez
+			alpha := pp.p * qq.p / (pp.p + qq.p)
+			r := newHermiteR(ltot, alpha, pp.P.Sub(qq.P))
+			pref := pp.cab * qq.cab * 2 * math.Pow(math.Pi, 2.5) /
+				(pp.p * qq.p * math.Sqrt(pp.p+qq.p))
+
+			idx := 0
+			for _, A := range ca {
+				for _, B := range cb {
+					lx1, ly1, lz1 := A.Lx+B.Lx, A.Ly+B.Ly, A.Lz+B.Lz
+					for _, C := range cc {
+						for _, D := range cd {
+							lx2, ly2, lz2 := C.Lx+D.Lx, C.Ly+D.Ly, C.Lz+D.Lz
+							var sum float64
+							for t := 0; t <= lx1; t++ {
+								et1 := e1x.at(A.Lx, B.Lx, t)
+								if et1 == 0 {
+									continue
+								}
+								for u := 0; u <= ly1; u++ {
+									eu1 := e1y.at(A.Ly, B.Ly, u)
+									if eu1 == 0 {
+										continue
+									}
+									for v := 0; v <= lz1; v++ {
+										ev1 := e1z.at(A.Lz, B.Lz, v)
+										if ev1 == 0 {
+											continue
+										}
+										e1 := et1 * eu1 * ev1
+										for tau := 0; tau <= lx2; tau++ {
+											et2 := e2x.at(C.Lx, D.Lx, tau)
+											if et2 == 0 {
+												continue
+											}
+											for nu := 0; nu <= ly2; nu++ {
+												eu2 := e2y.at(C.Ly, D.Ly, nu)
+												if eu2 == 0 {
+													continue
+												}
+												for phi := 0; phi <= lz2; phi++ {
+													ev2 := e2z.at(C.Lz, D.Lz, phi)
+													if ev2 == 0 {
+														continue
+													}
+													sign := 1.0
+													if (tau+nu+phi)&1 == 1 {
+														sign = -1
+													}
+													sum += e1 * sign * et2 * eu2 * ev2 *
+														r.at(t+tau, u+nu, v+phi)
+												}
+											}
+										}
+									}
+								}
+							}
+							blk[idx] += pref * sum
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	if a.L >= 2 || b.L >= 2 || c.L >= 2 || d.L >= 2 {
+		normA, normB := makeComponentNorms(a.L), makeComponentNorms(b.L)
+		normC, normD := makeComponentNorms(c.L), makeComponentNorms(d.L)
+		idx := 0
+		for _, va := range normA {
+			for _, vb := range normB {
+				for _, vc := range normC {
+					for _, vd := range normD {
+						blk[idx] *= va * vb * vc * vd
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return blk
+}

@@ -37,8 +37,18 @@ func (s *Shell) MinExp() float64 {
 type CartComponent struct{ Lx, Ly, Lz int }
 
 // Components returns the Cartesian components of angular momentum L in
-// canonical (lexicographic-descending in lx, then ly) order.
+// canonical (lexicographic-descending in lx, then ly) order. The returned
+// slice is shared and must not be mutated: the ERI hot path calls this
+// once per quartet, so the common angular momenta are served from a
+// precomputed table instead of allocating.
 func Components(L int) []CartComponent {
+	if L < len(componentsTab) {
+		return componentsTab[L]
+	}
+	return makeComponents(L)
+}
+
+func makeComponents(L int) []CartComponent {
 	var out []CartComponent
 	for lx := L; lx >= 0; lx-- {
 		for ly := L - lx; ly >= 0; ly-- {
@@ -47,6 +57,18 @@ func Components(L int) []CartComponent {
 	}
 	return out
 }
+
+// maxCachedL bounds the Components/ComponentNorms tables; real basis sets
+// here stop at d shells (L=2), so 8 leaves generous headroom.
+const maxCachedL = 8
+
+var componentsTab = func() [][]CartComponent {
+	tab := make([][]CartComponent, maxCachedL+1)
+	for l := range tab {
+		tab[l] = makeComponents(l)
+	}
+	return tab
+}()
 
 // ComponentNorms returns, for each Cartesian component of angular
 // momentum L, the extra normalization factor relative to the (L,0,0)
@@ -57,7 +79,17 @@ func Components(L int) []CartComponent {
 // With this factor applied in every integral, every Cartesian basis
 // function has exactly unit self-overlap (e.g. dxy, whose raw norm under
 // the shared shell coefficients would be 1/√3, is scaled by √3).
+//
+// Like Components, the returned slice is shared (precomputed per L) and
+// must not be mutated.
 func ComponentNorms(L int) []float64 {
+	if L < len(componentNormsTab) {
+		return componentNormsTab[L]
+	}
+	return makeComponentNorms(L)
+}
+
+func makeComponentNorms(L int) []float64 {
 	comps := Components(L)
 	out := make([]float64, len(comps))
 	for i, c := range comps {
@@ -66,6 +98,14 @@ func ComponentNorms(L int) []float64 {
 	}
 	return out
 }
+
+var componentNormsTab = func() [][]float64 {
+	tab := make([][]float64, maxCachedL+1)
+	for l := range tab {
+		tab[l] = makeComponentNorms(l)
+	}
+	return tab
+}()
 
 // BasisSet is a molecule-specific list of shells plus bookkeeping.
 type BasisSet struct {

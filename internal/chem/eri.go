@@ -40,7 +40,7 @@ func ERIBlock(a, b, c, d *Shell) []float64 {
 
 					alpha := p * q / (p + q)
 					r := newHermiteR(ltot, alpha, P.Sub(Q))
-					pref := cab * ccd * 2 * math.Pow(math.Pi, 2.5) /
+					pref := cab * ccd * 2 * piPow25 /
 						(p * q * math.Sqrt(p+q))
 
 					idx := 0

@@ -81,6 +81,10 @@ func quartetPermutations(a, b, c, d int) [][4]int {
 // quartet, scattering every distinct permutation into J and the K
 // accumulators. shells is the full shell list; ia..id index into it; blk
 // is laid out as ERIBlock(ia, ib, ic, id).
+//
+// This closure-based form allocates per call; it survives as the
+// ExecuteTaskBaseline path, while the hot path uses
+// digestUniqueQuartetStrides.
 func digestUniqueQuartet(j, dj *linalg.Matrix, ks, dks []*linalg.Matrix, shells []Shell, ia, ib, ic, id int, blk []float64) {
 	sh := [4]*Shell{&shells[ia], &shells[ib], &shells[ic], &shells[id]}
 	nb, nc, nd := sh[1].NumFuncs(), sh[2].NumFuncs(), sh[3].NumFuncs()
@@ -99,6 +103,92 @@ func digestUniqueQuartet(j, dj *linalg.Matrix, ks, dks []*linalg.Matrix, shells 
 			return orig(g[0], g[1], g[2], g[3])
 		}
 		digestJK(j, dj, ks, dks, sh[p[0]], sh[p[1]], sh[p[2]], sh[p[3]], get)
+	}
+}
+
+// quartetPerms8 is the 8-fold symmetry group in the fixed enumeration
+// order the digest relies on.
+var quartetPerms8 = [8][4]int{
+	{0, 1, 2, 3}, {1, 0, 2, 3}, {0, 1, 3, 2}, {1, 0, 3, 2},
+	{2, 3, 0, 1}, {3, 2, 0, 1}, {2, 3, 1, 0}, {3, 2, 1, 0},
+}
+
+// quartetPermutationsInto is quartetPermutations without the map and
+// slice allocations: distinct permutations are written to out (in the
+// same first-occurrence order) and their count returned.
+func quartetPermutationsInto(a, b, c, d int, out *[8][4]int) int {
+	ids := [4]int{a, b, c, d}
+	var keys [8][4]int
+	n := 0
+	for _, p := range quartetPerms8 {
+		key := [4]int{ids[p[0]], ids[p[1]], ids[p[2]], ids[p[3]]}
+		dup := false
+		for i := 0; i < n; i++ {
+			if keys[i] == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys[n] = key
+			out[n] = p
+			n++
+		}
+	}
+	return n
+}
+
+// digestJKStrides is digestJK with the permuted block view expressed as
+// index strides instead of a closure: element (fa,fb,fc,fd) of the view
+// lives at blk[fa*sa+fb*sb+fc*sc+fd*sd]. The loop structure (and hence
+// the floating-point accumulation order) is identical to digestJK; only
+// the per-element closure dispatch and the kAcc allocation are gone.
+func digestJKStrides(j *linalg.Matrix, dj *linalg.Matrix, ks, dks []*linalg.Matrix, kAcc []float64, a, b, c, dd *Shell, blk []float64, sa, sb, sc, sd int) {
+	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), dd.NumFuncs()
+	for fa := 0; fa < na; fa++ {
+		mu := a.Start + fa
+		baseA := fa * sa
+		for fb := 0; fb < nb; fb++ {
+			nu := b.Start + fb
+			baseAB := baseA + fb*sb
+			var jAcc float64
+			for fc := 0; fc < nc; fc++ {
+				lam := c.Start + fc
+				for i := range kAcc {
+					kAcc[i] = 0
+				}
+				baseABC := baseAB + fc*sc
+				for fd := 0; fd < nd; fd++ {
+					sig := dd.Start + fd
+					v := blk[baseABC+fd*sd]
+					jAcc += dj.At(lam, sig) * v
+					for i, dk := range dks {
+						kAcc[i] += dk.At(nu, sig) * v
+					}
+				}
+				for i, k := range ks {
+					k.Add(mu, lam, kAcc[i])
+				}
+			}
+			j.Add(mu, nu, jAcc)
+		}
+	}
+}
+
+// digestUniqueQuartetStrides is the allocation-free digestUniqueQuartet:
+// permutations are enumerated into a stack array and each permuted view
+// is digested through precomputed strides. kAcc is caller-provided
+// scratch of length len(ks).
+func digestUniqueQuartetStrides(j, dj *linalg.Matrix, ks, dks []*linalg.Matrix, kAcc []float64, shells []Shell, ia, ib, ic, id int, blk []float64) {
+	sh := [4]*Shell{&shells[ia], &shells[ib], &shells[ic], &shells[id]}
+	nb, nc, nd := sh[1].NumFuncs(), sh[2].NumFuncs(), sh[3].NumFuncs()
+	strides := [4]int{nb * nc * nd, nc * nd, nd, 1}
+	var perms [8][4]int
+	np := quartetPermutationsInto(ia, ib, ic, id, &perms)
+	for pi := 0; pi < np; pi++ {
+		p := perms[pi]
+		digestJKStrides(j, dj, ks, dks, kAcc, sh[p[0]], sh[p[1]], sh[p[2]], sh[p[3]], blk,
+			strides[p[0]], strides[p[1]], strides[p[2]], strides[p[3]])
 	}
 }
 
@@ -189,31 +279,82 @@ func BuildFockWorkloadFromPairs(bs *BasisSet, allPairs []ShellPair, threshold fl
 // estimate: for each bra pair, all ket pairs with index <= the bra's
 // global pair position survive screening symmetry (each unique quartet is
 // visited exactly once across all tasks).
+//
+// Each call sets up a fresh scratch arena; loops over many tasks should
+// use ExecuteTaskScratch with a single arena per worker instead.
 func (w *FockWorkload) ExecuteTask(t *FockTask, d, j, k *linalg.Matrix) int {
-	return w.executeTask(t, d, []*linalg.Matrix{k}, []*linalg.Matrix{d}, j)
+	return w.ExecuteTaskScratch(t, d, j, k, w.NewScratch())
+}
+
+// ExecuteTaskScratch is ExecuteTask with a caller-owned scratch arena.
+// With a warmed-up arena the steady state performs zero heap allocations
+// per task (enforced by a testing.AllocsPerRun gate).
+func (w *FockWorkload) ExecuteTaskScratch(t *FockTask, d, j, k *linalg.Matrix, s *ERIScratch) int {
+	s.ks[0], s.dks[0] = k, d
+	return w.executeTask(t, d, s.ks[:1], s.dks[:1], j, s)
 }
 
 // ExecuteTaskSpin is the unrestricted (UHF) variant: J contracts the
 // total density while separate exchange matrices contract the α and β
 // densities.
 func (w *FockWorkload) ExecuteTaskSpin(t *FockTask, dTot, dA, dB, j, kA, kB *linalg.Matrix) int {
-	return w.executeTask(t, dTot, []*linalg.Matrix{kA, kB}, []*linalg.Matrix{dA, dB}, j)
+	return w.ExecuteTaskSpinScratch(t, dTot, dA, dB, j, kA, kB, w.NewScratch())
 }
 
-func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*linalg.Matrix, j *linalg.Matrix) int {
+// ExecuteTaskSpinScratch is ExecuteTaskSpin with a caller-owned scratch
+// arena.
+func (w *FockWorkload) ExecuteTaskSpinScratch(t *FockTask, dTot, dA, dB, j, kA, kB *linalg.Matrix, s *ERIScratch) int {
+	s.ks[0], s.ks[1] = kA, kB
+	s.dks[0], s.dks[1] = dA, dB
+	return w.executeTask(t, dTot, s.ks[:2], s.dks[:2], j, s)
+}
+
+func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*linalg.Matrix, j *linalg.Matrix, s *ERIScratch) int {
 	shells := w.Basis.Shells
+	if cap(s.kAcc) < len(ks) {
+		s.kAcc = make([]float64, len(ks))
+	}
+	kAcc := s.kAcc[:len(ks)]
+	var done int
+	for bi, bra := range t.BraPairs {
+		braPD := w.pairData[t.PairOffset+bi]
+		for ki := range w.Pairs {
+			if t.PairOffset+bi < ki {
+				break // pairs are sorted by pairIndex; ket index exceeds bra's
+			}
+			ket := &w.Pairs[ki]
+			if bra.Bound*ket.Bound < w.Threshold {
+				continue
+			}
+			blk := ERIBlockPairInto(braPD, w.pairData[ki], s)
+			digestUniqueQuartetStrides(j, dj, ks, dks, kAcc, shells, bra.I, bra.J, ket.I, ket.J, blk)
+			done++
+		}
+	}
+	return done
+}
+
+// ExecuteTaskBaseline is the pre-arena reference implementation of
+// ExecuteTask, retained verbatim as the "before" point of the repo's
+// perf trajectory (BENCH_wall.json) and as the allocation-behavior foil
+// in tests: it allocates the ERI block, the Hermite R workspace and the
+// digest closures per quartet. Its results must match ExecuteTask
+// exactly up to floating-point accumulation order.
+func (w *FockWorkload) ExecuteTaskBaseline(t *FockTask, d, j, k *linalg.Matrix) int {
+	shells := w.Basis.Shells
+	ks, dks := []*linalg.Matrix{k}, []*linalg.Matrix{d}
 	var done int
 	for bi, bra := range t.BraPairs {
 		braPD := w.pairData[t.PairOffset+bi]
 		for ki, ket := range w.Pairs {
 			if t.PairOffset+bi < ki {
-				break // pairs are sorted by pairIndex; ket index exceeds bra's
+				break
 			}
 			if bra.Bound*ket.Bound < w.Threshold {
 				continue
 			}
-			blk := ERIBlockPair(braPD, w.pairData[ki])
-			digestUniqueQuartet(j, dj, ks, dks, shells, bra.I, bra.J, ket.I, ket.J, blk)
+			blk := eriBlockPairBaseline(braPD, w.pairData[ki])
+			digestUniqueQuartet(j, d, ks, dks, shells, bra.I, bra.J, ket.I, ket.J, blk)
 			done++
 		}
 	}
@@ -236,8 +377,9 @@ func (w *FockWorkload) BuildFock(h, d *linalg.Matrix) *linalg.Matrix {
 	n := w.Basis.NBF
 	j := linalg.NewMatrix(n, n)
 	k := linalg.NewMatrix(n, n)
+	s := w.NewScratch()
 	for i := range w.Tasks {
-		w.ExecuteTask(&w.Tasks[i], d, j, k)
+		w.ExecuteTaskScratch(&w.Tasks[i], d, j, k, s)
 	}
 	f := h.Clone()
 	f.AddScaled(1, j)

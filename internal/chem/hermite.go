@@ -76,6 +76,36 @@ func (r *hermiteR) at(t, u, v int) float64 {
 	return r.data[(t*n+u)*n+v]
 }
 
+// hermiteRWork is a reusable workspace for Hermite Coulomb integral
+// construction: the Boys-function buffer and the per-order R cubes are
+// retained across calls so the steady-state ERI loop performs no heap
+// allocation per primitive quartet. The zero value is ready to use and
+// grows on demand; grow preallocates for a known maximum order.
+//
+// compute's result aliases the workspace and is invalidated by the next
+// compute call, so a workspace must not be shared between goroutines.
+type hermiteRWork struct {
+	boys   []float64
+	orders [][]float64
+	r      hermiteR
+}
+
+// grow preallocates the workspace for orders up to tmax.
+func (w *hermiteRWork) grow(tmax int) {
+	n1 := tmax + 1
+	if cap(w.boys) < n1 {
+		w.boys = make([]float64, n1)
+	}
+	for len(w.orders) < n1 {
+		w.orders = append(w.orders, nil)
+	}
+	for n := 0; n < n1; n++ {
+		if cap(w.orders[n]) < n1*n1*n1 {
+			w.orders[n] = make([]float64, n1*n1*n1)
+		}
+	}
+}
+
 // newHermiteR computes R^0_{tuv} for all t+u+v <= tmax, with Gaussian
 // exponent p and separation pc = P - C.
 //
@@ -85,18 +115,31 @@ func (r *hermiteR) at(t, u, v int) float64 {
 // The computation runs over an auxiliary order-n dimension, consuming one
 // order per unit of total angular momentum.
 func newHermiteR(tmax int, p float64, pc Vec3) *hermiteR {
+	// A fresh workspace per call: the result owns its data. Hot paths use
+	// hermiteRWork.compute directly to amortize the allocations away.
+	var w hermiteRWork
+	r := w.compute(tmax, p, pc)
+	return &hermiteR{tmax: tmax, data: r.data}
+}
+
+// compute fills the workspace with R^0_{tuv} for all t+u+v <= tmax and
+// returns a view of it. Every entry read by the recurrence (and by at, for
+// indices within tmax) is written before use, so stale data from a
+// previous, larger computation never leaks into the result and no zeroing
+// pass is needed.
+func (w *hermiteRWork) compute(tmax int, p float64, pc Vec3) *hermiteR {
 	n1 := tmax + 1
-	boysVals := make([]float64, n1)
+	w.grow(tmax)
+	boysVals := w.boys[:n1]
 	Boys(tmax, p*pc.Norm2(), boysVals)
 
-	// cur[n][t][u][v] at auxiliary order n; we store a full (tmax+1)^3 cube
-	// per order. tmax stays <= ~8 for d functions so the cubes are small.
-	cube := func() []float64 { return make([]float64, n1*n1*n1) }
+	// orders[n][t][u][v] at auxiliary order n; a full (tmax+1)^3 cube per
+	// order. tmax stays <= ~8 for d functions so the cubes are small.
 	idx := func(t, u, v int) int { return (t*n1+u)*n1 + v }
 
-	orders := make([][]float64, n1+1)
+	orders := w.orders[:n1]
 	for n := 0; n <= tmax; n++ {
-		orders[n] = cube()
+		orders[n] = orders[n][:n1*n1*n1]
 		f := 1.0
 		for k := 0; k < n; k++ {
 			f *= -2 * p
@@ -135,5 +178,6 @@ func newHermiteR(tmax int, p float64, pc Vec3) *hermiteR {
 			}
 		}
 	}
-	return &hermiteR{tmax: tmax, data: orders[0]}
+	w.r = hermiteR{tmax: tmax, data: orders[0]}
+	return &w.r
 }

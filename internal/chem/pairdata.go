@@ -2,6 +2,10 @@ package chem
 
 import "math"
 
+// piPow25 is the π^{5/2} prefactor constant of the Coulomb Gaussian
+// product theorem, hoisted out of the primitive-quartet loop.
+var piPow25 = math.Pow(math.Pi, 2.5)
+
 // pairPrim holds the primitive-pair quantities of one (primitive a,
 // primitive b) combination of a shell pair: everything about the bra (or
 // ket) charge distribution that does not depend on the partner pair.
@@ -44,20 +48,38 @@ func NewPairData(a, b *Shell) *PairData {
 // ERIBlockPair computes the (bra|ket) shell-quartet block from two
 // precomputed pair datasets. The result layout matches
 // ERIBlock(bra.A, bra.B, ket.A, ket.B).
+//
+// Each call allocates a fresh result (and workspace); the hot path uses
+// ERIBlockPairInto with a reused ERIScratch instead.
 func ERIBlockPair(bra, ket *PairData) []float64 {
+	return ERIBlockPairInto(bra, ket, &ERIScratch{})
+}
+
+// ERIBlockPairInto is ERIBlockPair writing into the scratch arena s: the
+// returned slice aliases s and stays valid only until the next call using
+// s. With a warmed-up scratch the steady-state computation performs zero
+// heap allocations.
+func ERIBlockPairInto(bra, ket *PairData, s *ERIScratch) []float64 {
 	a, b, c, d := bra.A, bra.B, ket.A, ket.B
 	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
-	blk := make([]float64, na*nb*nc*nd)
+	size := na * nb * nc * nd
+	if cap(s.blk) < size {
+		s.blk = make([]float64, size)
+	}
+	blk := s.blk[:size]
+	clear(blk)
 	ca, cb, cc, cd := Components(a.L), Components(b.L), Components(c.L), Components(d.L)
 	ltot := a.L + b.L + c.L + d.L
 
-	for _, pp := range bra.prims {
+	for bp := range bra.prims {
+		pp := &bra.prims[bp]
 		e1x, e1y, e1z := pp.ex, pp.ey, pp.ez
-		for _, qq := range ket.prims {
+		for kp := range ket.prims {
+			qq := &ket.prims[kp]
 			e2x, e2y, e2z := qq.ex, qq.ey, qq.ez
 			alpha := pp.p * qq.p / (pp.p + qq.p)
-			r := newHermiteR(ltot, alpha, pp.P.Sub(qq.P))
-			pref := pp.cab * qq.cab * 2 * math.Pow(math.Pi, 2.5) /
+			r := s.rw.compute(ltot, alpha, pp.P.Sub(qq.P))
+			pref := pp.cab * qq.cab * 2 * piPow25 /
 				(pp.p * qq.p * math.Sqrt(pp.p+qq.p))
 
 			idx := 0

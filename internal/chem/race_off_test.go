@@ -1,0 +1,7 @@
+//go:build !race
+
+package chem
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under -race because instrumentation perturbs alloc counts.
+const raceEnabled = false

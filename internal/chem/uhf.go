@@ -108,6 +108,7 @@ func RunUHF(mol *Molecule, bs *BasisSet, opts UHFOptions) (*UHFResult, error) {
 		diisB = newDIIS(opts.DIISVectors)
 	}
 	var ePrev float64
+	scratch := w.NewScratch()
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		dTot := dA.Clone()
 		dTot.AddScaled(1, dB)
@@ -116,7 +117,7 @@ func RunUHF(mol *Molecule, bs *BasisSet, opts UHFOptions) (*UHFResult, error) {
 		kA := linalg.NewMatrix(n, n)
 		kB := linalg.NewMatrix(n, n)
 		for i := range w.Tasks {
-			w.ExecuteTaskSpin(&w.Tasks[i], dTot, dA, dB, j, kA, kB)
+			w.ExecuteTaskSpinScratch(&w.Tasks[i], dTot, dA, dB, j, kA, kB, scratch)
 		}
 		fA := h.Clone()
 		fA.AddScaled(1, j)

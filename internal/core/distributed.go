@@ -70,13 +70,14 @@ func distributedStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int) *D
 
 		jLoc := linalg.NewMatrix(n, n)
 		kLoc := linalg.NewMatrix(n, n)
+		scratch := fw.NewScratch()
 		lo, hi := c.Rank()*per, (c.Rank()+1)*per
 		if hi > nt {
 			hi = nt
 		}
 		count := 0
 		for i := lo; i < hi; i++ {
-			fw.ExecuteTask(&fw.Tasks[i], dLoc, jLoc, kLoc)
+			fw.ExecuteTaskScratch(&fw.Tasks[i], dLoc, jLoc, kLoc, scratch)
 			count++
 		}
 		res.TasksByRank[c.Rank()] = count
@@ -129,6 +130,7 @@ func distributedCounter(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int) *
 		dLoc := linalg.NewMatrixFrom(n, n, dens)
 		jLoc := linalg.NewMatrix(n, n)
 		kLoc := linalg.NewMatrix(n, n)
+		scratch := fw.NewScratch()
 		count := 0
 		for {
 			c.Send(server, tagCounterReq, nil)
@@ -137,7 +139,7 @@ func distributedCounter(fw *chem.FockWorkload, h, d *linalg.Matrix, ranks int) *
 			if i >= nt {
 				break
 			}
-			fw.ExecuteTask(&fw.Tasks[i], dLoc, jLoc, kLoc)
+			fw.ExecuteTaskScratch(&fw.Tasks[i], dLoc, jLoc, kLoc, scratch)
 			count++
 		}
 		res.TasksByRank[c.Rank()] = count

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,8 +19,10 @@ type WallResult struct {
 	F          *linalg.Matrix
 	Elapsed    time.Duration
 	WorkerBusy []time.Duration // per-worker time spent executing tasks
-	Steals     int64
-	CounterOps int64
+	Steals     int64           // successful steal-half operations
+	StealRetry int64           // failed steal rounds (victim empty) — the tail-spin metric
+	StealSeed  int64           // the victim-selection seed actually used
+	CounterOps int64           // NXTVAL fetches (dynamic mode)
 }
 
 // LoadImbalance returns max/mean worker busy time.
@@ -39,8 +42,16 @@ func (r *WallResult) LoadImbalance() float64 {
 
 // wallRun drives the shared scaffolding of all wall-clock executors: it
 // spawns workers, each pulling task indices from nextTask until exhausted,
-// digesting into worker-private J/K and accumulating into shared arrays at
-// the end.
+// digesting into worker-private J/K (through a worker-private scratch
+// arena, so the steady-state loop allocates nothing) and accumulating
+// into shared arrays at the end.
+//
+// nextTask is invoked only from worker wk's goroutine for a given wk, so
+// per-worker scheduling state needs no synchronization — but distinct
+// workers' state should live on distinct cache lines (see padCell).
+// Per-worker busy time is accumulated in a goroutine-local variable and
+// merged into the shared slice once, after the task loop, so the hot loop
+// never writes adjacent elements of a shared array.
 func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 	nextTask func(worker int) (int, bool)) *WallResult {
 	if workers < 1 {
@@ -59,17 +70,20 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 			defer wg.Done()
 			jLoc := linalg.NewMatrix(n, n)
 			kLoc := linalg.NewMatrix(n, n)
+			scratch := fw.NewScratch()
+			var busyLoc time.Duration
 			for {
 				id, ok := nextTask(wk)
 				if !ok {
 					break
 				}
 				t0 := startStopwatch()
-				fw.ExecuteTask(&fw.Tasks[id], d, jLoc, kLoc)
-				busy[wk] += t0.elapsed()
+				fw.ExecuteTaskScratch(&fw.Tasks[id], d, jLoc, kLoc, scratch)
+				busyLoc += t0.elapsed()
 			}
 			jArr.Acc(0, 0, n, n, jLoc.Data, 1)
 			kArr.Acc(0, 0, n, n, kLoc.Data, 1)
+			busy[wk] = busyLoc // one write per worker; visibility via wg.Wait
 		}(wk)
 	}
 	wg.Wait()
@@ -82,18 +96,44 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 	return &WallResult{F: f, Elapsed: elapsed, WorkerBusy: busy}
 }
 
+// padCell is a per-worker counter padded to a 64-byte cache line:
+// adjacent workers' hot scheduling words must not share a line, or every
+// cursor bump invalidates the neighbours' caches (false sharing). Each
+// cell is read and written only by its owning worker goroutine, so no
+// atomics are needed.
+type padCell struct {
+	n int64
+	_ [56]byte
+}
+
+// dynSpan is the per-worker [next, hi) range of a block fetched from the
+// shared counter, padded like padCell.
+type dynSpan struct {
+	next, hi int64
+	_        [48]byte
+}
+
+// atomicInt64Pad is an atomic counter padded to its own cache line, for
+// the genuinely shared counters (remaining tasks, steal stats) that sit
+// next to each other in WallStealing.
+type atomicInt64Pad struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // WallStatic executes the Fock build with a static block schedule on real
 // goroutines.
 func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
 	n := len(fw.Tasks)
 	per := (n + workers - 1) / workers
-	cursors := make([]int64, workers)
+	cursors := make([]padCell, workers)
 	return wallRun(fw, h, d, workers, func(wk int) (int, bool) {
 		lo, hi := wk*per, (wk+1)*per
 		if hi > n {
 			hi = n
 		}
-		c := int(atomic.AddInt64(&cursors[wk], 1)) - 1
+		c := int(cursors[wk].n)
+		cursors[wk].n++
 		if lo+c >= hi {
 			return 0, false
 		}
@@ -101,24 +141,52 @@ func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallRe
 	})
 }
 
-// WallDynamic executes the Fock build pulling tasks from a shared atomic
-// counter (NXTVAL).
-func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
+// WallDynamic executes the Fock build pulling blocks of `block`
+// consecutive tasks from a shared atomic counter (NXTVAL with a chunk
+// size, as the simulated dynamic-counter model's F3 sweep studies).
+// block < 1 is treated as 1, the classic one-task-per-fetch NXTVAL.
+func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int) *WallResult {
+	if block < 1 {
+		block = 1
+	}
 	var counter ga.Counter
 	n := int64(len(fw.Tasks))
-	res := wallRun(fw, h, d, workers, func(int) (int, bool) {
-		v := counter.NextVal()
-		if v >= n {
+	spans := make([]dynSpan, workers)
+	res := wallRun(fw, h, d, workers, func(wk int) (int, bool) {
+		s := &spans[wk]
+		if s.next < s.hi {
+			v := s.next
+			s.next++
+			return int(v), true
+		}
+		lo := counter.FetchAdd(int64(block))
+		if lo >= n {
 			return 0, false
 		}
-		return int(v), true
+		hi := lo + int64(block)
+		if hi > n {
+			hi = n
+		}
+		s.next, s.hi = lo+1, hi
+		return int(lo), true
 	})
 	res.CounterOps = counter.Ops()
 	return res
 }
 
+// Backoff schedule for idle thieves: a few yielded retries, then sleeps
+// growing linearly to a cap. Without this, workers that finish early
+// hammer StealHalf at 100% CPU until the last task completes, polluting
+// WorkerBusy/Elapsed and starving the workers still computing.
+const (
+	stealSpinRounds  = 4
+	stealBackoffStep = 2 * time.Microsecond
+	stealBackoffMax  = 200 * time.Microsecond
+)
+
 // WallStealing executes the Fock build with per-worker deques and
-// steal-half work stealing on real goroutines.
+// steal-half work stealing on real goroutines. seed drives the
+// per-worker victim-selection RNG streams.
 func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed int64) *WallResult {
 	n := len(fw.Tasks)
 	deques := make([]*deque.Deque, workers)
@@ -133,15 +201,15 @@ func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed 
 		}
 		deques[r].Push(i)
 	}
-	var remaining atomic.Int64
+	var remaining, steals, retries atomicInt64Pad
 	remaining.Store(int64(n))
-	var steals atomic.Int64
 	rngs := make([]*rand.Rand, workers)
 	for wk := range rngs {
 		rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
 	}
 
 	res := wallRun(fw, h, d, workers, func(wk int) (int, bool) {
+		failed := 0
 		for {
 			if id, ok := deques[wk].Pop(); ok {
 				remaining.Add(-1)
@@ -150,38 +218,77 @@ func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed 
 			if remaining.Load() <= 0 {
 				return 0, false
 			}
-			victim := rngs[wk].Intn(workers)
-			if victim == wk {
+			if workers > 1 {
+				// Pick a victim other than ourselves: self-steals are
+				// guaranteed misses (our deque just came up empty).
+				victim := rngs[wk].Intn(workers - 1)
+				if victim >= wk {
+					victim++
+				}
+				if loot := deques[victim].StealHalf(); loot != nil {
+					steals.Add(1)
+					deques[wk].PushBatch(loot)
+					failed = 0
+					continue
+				}
+			}
+			// Failed round: yield first, then back off with bounded
+			// sleeps so the idle tail does not busy-spin.
+			retries.Add(1)
+			failed++
+			if failed <= stealSpinRounds {
+				runtime.Gosched()
 				continue
 			}
-			if loot := deques[victim].StealHalf(); loot != nil {
-				steals.Add(1)
-				deques[wk].PushBatch(loot)
+			pause := time.Duration(failed-stealSpinRounds) * stealBackoffStep
+			if pause > stealBackoffMax {
+				pause = stealBackoffMax
 			}
+			time.Sleep(pause)
 		}
 	})
 	res.Steals = steals.Load()
+	res.StealRetry = retries.Load()
+	res.StealSeed = seed
 	return res
 }
 
-// ParallelFockBuilder returns a chem.FockBuilder that runs every Fock
-// build of an SCF iteration through the given wall-clock executor. mode is
-// "static", "dynamic" or "stealing".
-func ParallelFockBuilder(mode string, workers int) (chem.FockBuilder, error) {
+// WallOptions carries the tunables of the wall-clock executors that
+// ParallelFockBuilder threads through to every Fock build of an SCF run.
+type WallOptions struct {
+	Seed  int64 // work-stealing victim-selection seed
+	Block int   // dynamic-counter tasks per NXTVAL fetch (<1 means 1)
+}
+
+// wallExec dispatches one wall-clock Fock build by mode name. It is the
+// single point where ParallelFockBuilder's options meet the executors —
+// no literal seeds or block sizes may appear here (regression-tested).
+func wallExec(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, opt WallOptions) (*WallResult, error) {
 	switch mode {
 	case "static":
-		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
-			return WallStatic(fw, h, d, workers).F
-		}, nil
+		return WallStatic(fw, h, d, workers), nil
 	case "dynamic":
-		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
-			return WallDynamic(fw, h, d, workers).F
-		}, nil
+		return WallDynamic(fw, h, d, workers, opt.Block), nil
 	case "stealing":
-		return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
-			return WallStealing(fw, h, d, workers, 1).F
-		}, nil
+		return WallStealing(fw, h, d, workers, opt.Seed), nil
 	default:
 		return nil, fmt.Errorf("core: unknown wall-clock mode %q", mode)
 	}
+}
+
+// ParallelFockBuilder returns a chem.FockBuilder that runs every Fock
+// build of an SCF iteration through the given wall-clock executor. mode
+// is "static", "dynamic" or "stealing"; opt supplies the stealing seed
+// and the dynamic fetch block.
+func ParallelFockBuilder(mode string, workers int, opt WallOptions) (chem.FockBuilder, error) {
+	// Validate eagerly so a typo fails at setup, not mid-SCF.
+	switch mode {
+	case "static", "dynamic", "stealing":
+	default:
+		return nil, fmt.Errorf("core: unknown wall-clock mode %q", mode)
+	}
+	return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+		res, _ := wallExec(mode, fw, h, d, workers, opt)
+		return res.F
+	}, nil
 }

@@ -2,21 +2,18 @@ package core
 
 import (
 	"testing"
+	"unsafe"
 
 	"execmodels/internal/chem"
 	"execmodels/internal/linalg"
 )
 
-// All wall-clock executors must reproduce the serial Fock matrix exactly
-// (up to floating-point accumulation order).
-func TestWallExecutorsMatchSerial(t *testing.T) {
-	fw := fockWorkload(t, 2)
+// wallDensity builds a core-guess density so the equivalence tests
+// exercise realistically structured J/K contractions.
+func wallDensity(fw *chem.FockWorkload, mol *chem.Molecule, h *linalg.Matrix) *linalg.Matrix {
 	bs := fw.Basis
-	mol := chem.WaterCluster(2, 11)
-	h := chem.CoreHamiltonian(bs, mol)
 	s := chem.Overlap(bs)
 	x := linalg.InvSqrtSym(s, 1e-10)
-	// Density from the core guess.
 	fp := linalg.TripleProduct(x, h)
 	_, cp := linalg.EigenSym(fp)
 	c := linalg.MatMul(x, cp)
@@ -32,6 +29,16 @@ func TestWallExecutorsMatchSerial(t *testing.T) {
 			d.Set(i, j, 2*v)
 		}
 	}
+	return d
+}
+
+// All wall-clock executors must reproduce the serial Fock matrix exactly
+// (up to floating-point accumulation order).
+func TestWallExecutorsMatchSerial(t *testing.T) {
+	fw := fockWorkload(t, 2)
+	mol := chem.WaterCluster(2, 11)
+	h := chem.CoreHamiltonian(fw.Basis, mol)
+	d := wallDensity(fw, mol, h)
 
 	want := fw.BuildFock(h, d)
 	for _, tc := range []struct {
@@ -39,7 +46,7 @@ func TestWallExecutorsMatchSerial(t *testing.T) {
 		run  func() *WallResult
 	}{
 		{"static", func() *WallResult { return WallStatic(fw, h, d, 4) }},
-		{"dynamic", func() *WallResult { return WallDynamic(fw, h, d, 4) }},
+		{"dynamic", func() *WallResult { return WallDynamic(fw, h, d, 4, 1) }},
 		{"stealing", func() *WallResult { return WallStealing(fw, h, d, 4, 7) }},
 	} {
 		res := tc.run()
@@ -55,17 +62,82 @@ func TestWallExecutorsMatchSerial(t *testing.T) {
 	}
 }
 
+// Cross-mode equivalence under awkward task/worker shapes: non-divisible
+// counts, more workers than tasks, and dynamic block sizes that do not
+// divide the task count. Every combination must reproduce the serial
+// Fock matrix. CI runs this package under -race, which doubles as the
+// concurrency check on the padded per-worker state.
+func TestWallModesEquivalenceMatrix(t *testing.T) {
+	fw := fockWorkload(t, 2)
+	mol := chem.WaterCluster(2, 11)
+	h := chem.CoreHamiltonian(fw.Basis, mol)
+	d := wallDensity(fw, mol, h)
+	want := fw.BuildFock(h, d)
+	nt := len(fw.Tasks)
+
+	workerCounts := []int{1, 3, 5}
+	if nt+1 > 5 {
+		workerCounts = append(workerCounts, nt+1) // more workers than tasks
+	}
+	for _, workers := range workerCounts {
+		for _, tc := range []struct {
+			name string
+			run  func() *WallResult
+		}{
+			{"static", func() *WallResult { return WallStatic(fw, h, d, workers) }},
+			{"dynamic/b1", func() *WallResult { return WallDynamic(fw, h, d, workers, 1) }},
+			{"dynamic/b3", func() *WallResult { return WallDynamic(fw, h, d, workers, 3) }},
+			{"dynamic/b7", func() *WallResult { return WallDynamic(fw, h, d, workers, 7) }},
+			{"stealing", func() *WallResult { return WallStealing(fw, h, d, workers, 13) }},
+		} {
+			res := tc.run()
+			if diff := res.F.MaxAbsDiff(want); diff > 1e-9 {
+				t.Errorf("%s workers=%d: Fock differs from serial by %v", tc.name, workers, diff)
+			}
+		}
+	}
+}
+
 func TestWallDynamicCounterOps(t *testing.T) {
 	fw := fockWorkload(t, 1)
 	bs := fw.Basis
 	n := bs.NBF
 	h := linalg.NewMatrix(n, n)
 	d := linalg.Identity(n)
-	res := WallDynamic(fw, h, d, 3)
-	// One NextVal per task plus one final miss per worker.
+	res := WallDynamic(fw, h, d, 3, 1)
+	// One fetch per task plus one final miss per worker.
 	want := int64(len(fw.Tasks) + 3)
 	if res.CounterOps != want {
 		t.Errorf("counter ops = %d, want %d", res.CounterOps, want)
+	}
+}
+
+// Regression (satellite: dynamic block size): with a fetch block of B the
+// counter must be hit exactly ceil(n/B) times plus one final miss per
+// worker — the whole point of blocked NXTVAL is fewer counter ops.
+func TestWallDynamicBlockedCounterOps(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	serial := fw.BuildFock(h, d)
+	nt := len(fw.Tasks)
+	for _, tc := range []struct{ workers, block int }{
+		{1, 2}, {3, 2}, {3, 4}, {2, 1000}, // incl. block > #tasks
+	} {
+		res := WallDynamic(fw, h, d, tc.workers, tc.block)
+		want := int64((nt+tc.block-1)/tc.block + tc.workers)
+		if res.CounterOps != want {
+			t.Errorf("workers=%d block=%d: counter ops = %d, want %d",
+				tc.workers, tc.block, res.CounterOps, want)
+		}
+		if diff := res.F.MaxAbsDiff(serial); diff > 1e-9 {
+			t.Errorf("workers=%d block=%d: Fock differs by %v", tc.workers, tc.block, diff)
+		}
+	}
+	// A non-positive block must degrade to the classic NXTVAL, not panic.
+	if res := WallDynamic(fw, h, d, 2, 0); res.CounterOps != int64(nt+2) {
+		t.Errorf("block=0: counter ops = %d, want %d", res.CounterOps, nt+2)
 	}
 }
 
@@ -81,6 +153,76 @@ func TestWallSingleWorker(t *testing.T) {
 	}
 	if res.Steals != 0 {
 		t.Errorf("%d steals with one worker", res.Steals)
+	}
+}
+
+// Regression (satellite: seed plumbing): the seed handed to WallStealing
+// — and the one wallExec threads through from WallOptions, the path
+// ParallelFockBuilder uses — must be the seed the executor actually ran
+// with. ParallelFockBuilder("stealing", ...) used to hard-code seed 1.
+func TestWallStealingSeedPlumbed(t *testing.T) {
+	fw := fockWorkload(t, 1)
+	n := fw.Basis.NBF
+	h := linalg.NewMatrix(n, n)
+	d := linalg.Identity(n)
+	if res := WallStealing(fw, h, d, 2, 42); res.StealSeed != 42 {
+		t.Errorf("WallStealing ran with seed %d, want 42", res.StealSeed)
+	}
+	res, err := wallExec("stealing", fw, h, d, 2, WallOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StealSeed != 99 {
+		t.Errorf("wallExec ran with seed %d, want 99 (hard-coded seed regression)", res.StealSeed)
+	}
+}
+
+// Regression (satellite: tail spin): idle thieves must back off instead
+// of hammering StealHalf at 100% CPU. The workload is a single task on
+// many workers — the worst case, where every other worker is idle for
+// the whole build. Without backoff the failed-round count explodes into
+// the millions; with yields + bounded sleeps it stays small.
+func TestWallStealingTailBackoff(t *testing.T) {
+	mol := chem.WaterCluster(2, 11)
+	bs, err := chem.NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One giant task: every bra pair in a single block.
+	fw := chem.BuildFockWorkload(bs, 1e-10, 1<<20)
+	if len(fw.Tasks) != 1 {
+		t.Fatalf("expected 1 task, got %d", len(fw.Tasks))
+	}
+	h := chem.CoreHamiltonian(bs, mol)
+	d := linalg.Identity(bs.NBF)
+	res := WallStealing(fw, h, d, 8, 3)
+	serial := fw.BuildFock(h, d)
+	if diff := res.F.MaxAbsDiff(serial); diff > 1e-9 {
+		t.Errorf("Fock differs by %v", diff)
+	}
+	// 7 idle workers for the full build. The backoff caps failed rounds
+	// at roughly (build time / max pause) per worker; allow a generous
+	// margin. The pre-fix spin loop exceeds this by orders of magnitude.
+	const maxRetries = 100_000
+	if res.StealRetry > maxRetries {
+		t.Errorf("idle workers burned %d failed steal rounds, want <= %d (tail spin regression)",
+			res.StealRetry, maxRetries)
+	}
+}
+
+// Regression (satellite: false sharing): per-worker scheduling state must
+// be padded to full cache lines so adjacent workers' cursor bumps do not
+// invalidate each other's lines. See also BenchmarkCursorFalseSharing
+// for the measured effect.
+func TestWallPerWorkerStatePadded(t *testing.T) {
+	if s := unsafe.Sizeof(padCell{}); s%64 != 0 {
+		t.Errorf("padCell is %d bytes, want a multiple of 64", s)
+	}
+	if s := unsafe.Sizeof(dynSpan{}); s%64 != 0 {
+		t.Errorf("dynSpan is %d bytes, want a multiple of 64", s)
+	}
+	if s := unsafe.Sizeof(atomicInt64Pad{}); s%64 != 0 {
+		t.Errorf("atomicInt64Pad is %d bytes, want a multiple of 64", s)
 	}
 }
 
@@ -107,7 +249,7 @@ func TestParallelSCFEnergyMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"static", "dynamic", "stealing"} {
-		builder, err := ParallelFockBuilder(mode, 4)
+		builder, err := ParallelFockBuilder(mode, 4, WallOptions{Seed: 3, Block: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +264,7 @@ func TestParallelSCFEnergyMatch(t *testing.T) {
 			t.Errorf("%s: energy %v differs from serial %v", mode, res.Energy, ref.Energy)
 		}
 	}
-	if _, err := ParallelFockBuilder("bogus", 2); err == nil {
+	if _, err := ParallelFockBuilder("bogus", 2, WallOptions{}); err == nil {
 		t.Error("expected error for unknown mode")
 	}
 }
