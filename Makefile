@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint lint-determinism bench bench-wall cover cover-check fuzz blame metrics experiments figures faults clean
+.PHONY: all build test race lint lint-determinism lint-fuzz zero-alloc bench bench-wall cover cover-check fuzz blame metrics experiments figures faults clean
 
 all: build test lint
 
@@ -14,22 +14,41 @@ test:
 race:
 	go test -race ./...
 
-# Repo-specific static analysis, all seven checks: determinism,
-# guardedby, lockbalance, floateq plus the interprocedural clocktaint,
-# maporder and lockset (see internal/lint, internal/lint/dataflow and
-# cmd/execlint).
+# Repo-specific static analysis, all ten checks: the syntactic
+# determinism, guardedby, lockbalance and floateq; the interprocedural
+# clocktaint, maporder and lockset; and the hot-path proofs allocfree,
+# goleak and padcheck (see internal/lint, internal/lint/dataflow and
+# cmd/execlint). -stale-suppressions also fails the run on any
+# //lint:ignore directive that no longer suppresses anything.
 lint:
-	go run ./cmd/execlint ./...
+	go run ./cmd/execlint -stale-suppressions ./...
 
 # The linter's own determinism: diagnostics must be sorted, never
-# map-ordered, so two consecutive runs are byte-identical. `|| true`
-# keeps a findings-bearing tree comparable; lint-determinism checks
-# stability, `lint` checks cleanliness.
+# map-ordered, so two consecutive runs are byte-identical — for the full
+# suite and for the three hot-path analyzers run on their own (their
+# call-graph walks and layout maps must not leak map order either).
+# `|| true` keeps a findings-bearing tree comparable; lint-determinism
+# checks stability, `lint` checks cleanliness.
 lint-determinism:
 	go run ./cmd/execlint -json ./... > execlint_run1.json || true
 	go run ./cmd/execlint -json ./... > execlint_run2.json || true
 	diff execlint_run1.json execlint_run2.json
+	go run ./cmd/execlint -json -analyzer allocfree,goleak,padcheck ./... > execlint_run1.json || true
+	go run ./cmd/execlint -json -analyzer allocfree,goleak,padcheck ./... > execlint_run2.json || true
+	diff execlint_run1.json execlint_run2.json
 	rm -f execlint_run1.json execlint_run2.json
+
+# Fuzz the execlint directive parsers: arbitrary comment text must never
+# panic the linter.
+lint-fuzz:
+	go test ./internal/lint/ -fuzz FuzzDirectiveParse -fuzztime 30s -run '^$$'
+
+# The zero-allocation gate from both sides: the dynamic AllocsPerRun
+# tests (run without -race, which inserts allocations of its own) and
+# the static allocfree proof over the same hot paths.
+zero-alloc:
+	go test ./internal/chem/ -run ZeroAlloc -count=1 -v
+	go run ./cmd/execlint -analyzer allocfree ./...
 
 bench:
 	go test -bench=. -benchmem ./...

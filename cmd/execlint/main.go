@@ -1,11 +1,14 @@
 // Command execlint runs the repository's static-analysis suite: the
-// syntactic determinism, guardedby, lockbalance and floateq checks plus
-// the interprocedural clocktaint, maporder and lockset checks built on
-// the internal/lint/dataflow summary engine (see internal/lint).
+// syntactic determinism, guardedby, lockbalance and floateq checks, the
+// interprocedural clocktaint, maporder and lockset checks built on the
+// internal/lint/dataflow summary engine, and the hot-path proofs —
+// allocfree (//hotpath:allocfree call chains must not allocate), goleak
+// (every go statement needs a completion edge) and padcheck
+// (//hotpath:padded structs stay cache-line aligned). See internal/lint.
 //
 // Usage:
 //
-//	execlint [-json] [-analyzer clocktaint,maporder,...] [packages]
+//	execlint [-json] [-analyzer allocfree,goleak,...] [-stale-suppressions] [packages]
 //
 // Package patterns are directories relative to the working directory,
 // with "./..." expanding recursively (default).
@@ -22,6 +25,10 @@
 // byte-identical. Per-line suppression, reason mandatory:
 //
 //	//lint:ignore <check> <reason>
+//
+// With -stale-suppressions, directives that suppressed nothing during
+// the run are additionally reported as "staleignore" findings — dead
+// suppressions would otherwise hide the next real finding on their line.
 package main
 
 import (
@@ -46,8 +53,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	analyzer := fs.String("analyzer", "", "comma-separated subset of analyzers to run (default: all; see -list)")
 	checks := fs.String("checks", "", "alias for -analyzer (kept for compatibility)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	stale := fs.Bool("stale-suppressions", false, "also report //lint:ignore directives that no longer suppress any finding")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: execlint [-json] [-analyzer name,...] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: execlint [-json] [-analyzer name,...] [-stale-suppressions] [packages]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, "\nexit status: 0 no findings, 1 findings reported, 2 usage/load error\n")
 	}
@@ -122,7 +130,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	var findings []lint.Finding
+	if *stale {
+		var staleFindings []lint.Finding
+		findings, staleFindings = lint.RunWithStale(pkgs, analyzers)
+		findings = append(findings, staleFindings...)
+		lint.SortFindings(findings)
+	} else {
+		findings = lint.Run(pkgs, analyzers)
+	}
 
 	if *jsonOut {
 		type jsonStep struct {

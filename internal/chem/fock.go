@@ -143,6 +143,8 @@ func quartetPermutationsInto(a, b, c, d int, out *[8][4]int) int {
 // lives at blk[fa*sa+fb*sb+fc*sc+fd*sd]. The loop structure (and hence
 // the floating-point accumulation order) is identical to digestJK; only
 // the per-element closure dispatch and the kAcc allocation are gone.
+//
+//hotpath:allocfree
 func digestJKStrides(j *linalg.Matrix, dj *linalg.Matrix, ks, dks []*linalg.Matrix, kAcc []float64, a, b, c, dd *Shell, blk []float64, sa, sb, sc, sd int) {
 	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), dd.NumFuncs()
 	for fa := 0; fa < na; fa++ {
@@ -179,6 +181,8 @@ func digestJKStrides(j *linalg.Matrix, dj *linalg.Matrix, ks, dks []*linalg.Matr
 // permutations are enumerated into a stack array and each permuted view
 // is digested through precomputed strides. kAcc is caller-provided
 // scratch of length len(ks).
+//
+//hotpath:allocfree
 func digestUniqueQuartetStrides(j, dj *linalg.Matrix, ks, dks []*linalg.Matrix, kAcc []float64, shells []Shell, ia, ib, ic, id int, blk []float64) {
 	sh := [4]*Shell{&shells[ia], &shells[ib], &shells[ic], &shells[id]}
 	nb, nc, nd := sh[1].NumFuncs(), sh[2].NumFuncs(), sh[3].NumFuncs()
@@ -288,7 +292,10 @@ func (w *FockWorkload) ExecuteTask(t *FockTask, d, j, k *linalg.Matrix) int {
 
 // ExecuteTaskScratch is ExecuteTask with a caller-owned scratch arena.
 // With a warmed-up arena the steady state performs zero heap allocations
-// per task (enforced by a testing.AllocsPerRun gate).
+// per task (enforced by a testing.AllocsPerRun gate and proved by the
+// allocfree check).
+//
+//hotpath:allocfree
 func (w *FockWorkload) ExecuteTaskScratch(t *FockTask, d, j, k *linalg.Matrix, s *ERIScratch) int {
 	s.ks[0], s.dks[0] = k, d
 	return w.executeTask(t, d, s.ks[:1], s.dks[:1], j, s)
@@ -303,6 +310,8 @@ func (w *FockWorkload) ExecuteTaskSpin(t *FockTask, dTot, dA, dB, j, kA, kB *lin
 
 // ExecuteTaskSpinScratch is ExecuteTaskSpin with a caller-owned scratch
 // arena.
+//
+//hotpath:allocfree
 func (w *FockWorkload) ExecuteTaskSpinScratch(t *FockTask, dTot, dA, dB, j, kA, kB *linalg.Matrix, s *ERIScratch) int {
 	s.ks[0], s.ks[1] = kA, kB
 	s.dks[0], s.dks[1] = dA, dB
@@ -312,7 +321,7 @@ func (w *FockWorkload) ExecuteTaskSpinScratch(t *FockTask, dTot, dA, dB, j, kA, 
 func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*linalg.Matrix, j *linalg.Matrix, s *ERIScratch) int {
 	shells := w.Basis.Shells
 	if cap(s.kAcc) < len(ks) {
-		s.kAcc = make([]float64, len(ks))
+		s.kAcc = make([]float64, len(ks)) //lint:ignore allocfree cold start: kAcc is sized once per arena for the K-matrix count and reused by every task
 	}
 	kAcc := s.kAcc[:len(ks)]
 	var done int

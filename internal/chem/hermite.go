@@ -94,14 +94,14 @@ type hermiteRWork struct {
 func (w *hermiteRWork) grow(tmax int) {
 	n1 := tmax + 1
 	if cap(w.boys) < n1 {
-		w.boys = make([]float64, n1)
+		w.boys = make([]float64, n1) //lint:ignore allocfree cold start: Boys workspace grows to the basis's max total angular momentum once, then is reused
 	}
 	for len(w.orders) < n1 {
-		w.orders = append(w.orders, nil)
+		w.orders = append(w.orders, nil) //lint:ignore allocfree cold start: the per-order table of R-recursion cubes grows once per arena
 	}
 	for n := 0; n < n1; n++ {
 		if cap(w.orders[n]) < n1*n1*n1 {
-			w.orders[n] = make([]float64, n1*n1*n1)
+			w.orders[n] = make([]float64, n1*n1*n1) //lint:ignore allocfree cold start: each R-recursion cube is sized by the max angular momentum once, then reused
 		}
 	}
 }

@@ -64,7 +64,7 @@ func ERIBlockPairInto(bra, ket *PairData, s *ERIScratch) []float64 {
 	na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
 	size := na * nb * nc * nd
 	if cap(s.blk) < size {
-		s.blk = make([]float64, size)
+		s.blk = make([]float64, size) //lint:ignore allocfree cold start: blk grows to the largest quartet block once, then every call reuses it
 	}
 	blk := s.blk[:size]
 	clear(blk)

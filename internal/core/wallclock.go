@@ -68,19 +68,13 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			// Cold start: the worker-private matrices and scratch arena
+			// are allocated here, outside the proved-allocation-free
+			// steady-state loop.
 			jLoc := linalg.NewMatrix(n, n)
 			kLoc := linalg.NewMatrix(n, n)
 			scratch := fw.NewScratch()
-			var busyLoc time.Duration
-			for {
-				id, ok := nextTask(wk)
-				if !ok {
-					break
-				}
-				t0 := startStopwatch()
-				fw.ExecuteTaskScratch(&fw.Tasks[id], d, jLoc, kLoc, scratch)
-				busyLoc += t0.elapsed()
-			}
+			busyLoc := wallWorkerLoop(fw, d, jLoc, kLoc, scratch, wk, nextTask)
 			jArr.Acc(0, 0, n, n, jLoc.Data, 1)
 			kArr.Acc(0, 0, n, n, kLoc.Data, 1)
 			busy[wk] = busyLoc // one write per worker; visibility via wg.Wait
@@ -96,11 +90,36 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 	return &WallResult{F: f, Elapsed: elapsed, WorkerBusy: busy}
 }
 
+// wallWorkerLoop is the steady-state body of every wall-clock worker:
+// pull a task index, digest it into the worker-private J/K through the
+// worker-private scratch arena, account the busy time. This is the loop
+// the paper's execution-model comparison times, so it must not allocate
+// — the arena makes the digestion allocation-free after warm-up, and the
+// allocfree check proves it for every schedule implementation.
+//
+//hotpath:allocfree
+func wallWorkerLoop(fw *chem.FockWorkload, d, jLoc, kLoc *linalg.Matrix,
+	scratch *chem.ERIScratch, wk int, nextTask func(worker int) (int, bool)) time.Duration {
+	var busy time.Duration
+	for {
+		//lint:ignore allocfree indirect dispatch: every nextTask implementation (wallStaticSched, wallDynSched, wallStealSched .next) is itself an annotated allocfree root
+		id, ok := nextTask(wk)
+		if !ok {
+			return busy
+		}
+		t0 := startStopwatch()
+		fw.ExecuteTaskScratch(&fw.Tasks[id], d, jLoc, kLoc, scratch)
+		busy += t0.elapsed()
+	}
+}
+
 // padCell is a per-worker counter padded to a 64-byte cache line:
 // adjacent workers' hot scheduling words must not share a line, or every
 // cursor bump invalidates the neighbours' caches (false sharing). Each
 // cell is read and written only by its owning worker goroutine, so no
 // atomics are needed.
+//
+//hotpath:padded
 type padCell struct {
 	n int64
 	_ [56]byte
@@ -108,6 +127,8 @@ type padCell struct {
 
 // dynSpan is the per-worker [next, hi) range of a block fetched from the
 // shared counter, padded like padCell.
+//
+//hotpath:padded
 type dynSpan struct {
 	next, hi int64
 	_        [48]byte
@@ -116,29 +137,72 @@ type dynSpan struct {
 // atomicInt64Pad is an atomic counter padded to its own cache line, for
 // the genuinely shared counters (remaining tasks, steal stats) that sit
 // next to each other in WallStealing.
+//
+//hotpath:padded
 type atomicInt64Pad struct {
 	atomic.Int64
 	_ [56]byte
+}
+
+// wallStaticSched deals each worker a contiguous block of tasks and
+// walks it with a per-worker padded cursor.
+type wallStaticSched struct {
+	n, per  int
+	cursors []padCell
+}
+
+// next implements the static schedule for worker wk.
+//
+//hotpath:allocfree
+func (s *wallStaticSched) next(wk int) (int, bool) {
+	lo, hi := wk*s.per, (wk+1)*s.per
+	if hi > s.n {
+		hi = s.n
+	}
+	c := int(s.cursors[wk].n)
+	s.cursors[wk].n++
+	if lo+c >= hi {
+		return 0, false
+	}
+	return lo + c, true
 }
 
 // WallStatic executes the Fock build with a static block schedule on real
 // goroutines.
 func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
 	n := len(fw.Tasks)
-	per := (n + workers - 1) / workers
-	cursors := make([]padCell, workers)
-	return wallRun(fw, h, d, workers, func(wk int) (int, bool) {
-		lo, hi := wk*per, (wk+1)*per
-		if hi > n {
-			hi = n
-		}
-		c := int(cursors[wk].n)
-		cursors[wk].n++
-		if lo+c >= hi {
-			return 0, false
-		}
-		return lo + c, true
-	})
+	s := &wallStaticSched{n: n, per: (n + workers - 1) / workers, cursors: make([]padCell, workers)}
+	return wallRun(fw, h, d, workers, s.next)
+}
+
+// wallDynSched serves blocks of consecutive tasks from a shared atomic
+// counter into per-worker padded spans.
+type wallDynSched struct {
+	counter  ga.Counter
+	n, block int64
+	spans    []dynSpan
+}
+
+// next implements the dynamic-counter schedule for worker wk.
+//
+//hotpath:allocfree
+func (s *wallDynSched) next(wk int) (int, bool) {
+	sp := &s.spans[wk]
+	if sp.next < sp.hi {
+		v := sp.next
+		sp.next++
+		return int(v), true
+	}
+	lo := s.counter.FetchAdd(s.block)
+	if lo >= s.n {
+		return 0, false
+	}
+	hi := lo + s.block
+	if hi > s.n {
+		hi = s.n
+	}
+	sp.next, sp.hi = lo+1, hi
+	return int(lo), true
 }
 
 // WallDynamic executes the Fock build pulling blocks of `block`
@@ -149,28 +213,9 @@ func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int)
 	if block < 1 {
 		block = 1
 	}
-	var counter ga.Counter
-	n := int64(len(fw.Tasks))
-	spans := make([]dynSpan, workers)
-	res := wallRun(fw, h, d, workers, func(wk int) (int, bool) {
-		s := &spans[wk]
-		if s.next < s.hi {
-			v := s.next
-			s.next++
-			return int(v), true
-		}
-		lo := counter.FetchAdd(int64(block))
-		if lo >= n {
-			return 0, false
-		}
-		hi := lo + int64(block)
-		if hi > n {
-			hi = n
-		}
-		s.next, s.hi = lo+1, hi
-		return int(lo), true
-	})
-	res.CounterOps = counter.Ops()
+	s := &wallDynSched{n: int64(len(fw.Tasks)), block: int64(block), spans: make([]dynSpan, workers)}
+	res := wallRun(fw, h, d, workers, s.next)
+	res.CounterOps = s.counter.Ops()
 	return res
 }
 
@@ -184,14 +229,68 @@ const (
 	stealBackoffMax  = 200 * time.Microsecond
 )
 
+// wallStealSched is the per-worker-deque steal-half schedule: pop
+// locally, steal half a victim's deque when empty, back off when steals
+// fail. The shared counters are padded so the hot Add/Load traffic does
+// not false-share.
+type wallStealSched struct {
+	deques                     []*deque.Deque
+	workers                    int
+	remaining, steals, retries atomicInt64Pad
+	rngs                       []*rand.Rand
+}
+
+// next implements the work-stealing schedule for worker wk.
+//
+//hotpath:allocfree
+func (s *wallStealSched) next(wk int) (int, bool) {
+	failed := 0
+	for {
+		if id, ok := s.deques[wk].Pop(); ok {
+			s.remaining.Add(-1)
+			return id, true
+		}
+		if s.remaining.Load() <= 0 {
+			return 0, false
+		}
+		if s.workers > 1 {
+			// Pick a victim other than ourselves: self-steals are
+			// guaranteed misses (our deque just came up empty).
+			victim := s.rngs[wk].Intn(s.workers - 1)
+			if victim >= wk {
+				victim++
+			}
+			if loot := s.deques[victim].StealHalf(); loot != nil {
+				s.steals.Add(1)
+				s.deques[wk].PushBatch(loot)
+				failed = 0
+				continue
+			}
+		}
+		// Failed round: yield first, then back off with bounded
+		// sleeps so the idle tail does not busy-spin.
+		s.retries.Add(1)
+		failed++
+		if failed <= stealSpinRounds {
+			runtime.Gosched()
+			continue
+		}
+		pause := time.Duration(failed-stealSpinRounds) * stealBackoffStep
+		if pause > stealBackoffMax {
+			pause = stealBackoffMax
+		}
+		time.Sleep(pause)
+	}
+}
+
 // WallStealing executes the Fock build with per-worker deques and
 // steal-half work stealing on real goroutines. seed drives the
 // per-worker victim-selection RNG streams.
 func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed int64) *WallResult {
 	n := len(fw.Tasks)
-	deques := make([]*deque.Deque, workers)
-	for wk := range deques {
-		deques[wk] = new(deque.Deque)
+	s := &wallStealSched{deques: make([]*deque.Deque, workers), workers: workers}
+	for wk := range s.deques {
+		s.deques[wk] = new(deque.Deque)
 	}
 	per := (n + workers - 1) / workers
 	for i := 0; i < n; i++ {
@@ -199,56 +298,17 @@ func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed 
 		if r >= workers {
 			r = workers - 1
 		}
-		deques[r].Push(i)
+		s.deques[r].Push(i)
 	}
-	var remaining, steals, retries atomicInt64Pad
-	remaining.Store(int64(n))
-	rngs := make([]*rand.Rand, workers)
-	for wk := range rngs {
-		rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
+	s.remaining.Store(int64(n))
+	s.rngs = make([]*rand.Rand, workers)
+	for wk := range s.rngs {
+		s.rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
 	}
 
-	res := wallRun(fw, h, d, workers, func(wk int) (int, bool) {
-		failed := 0
-		for {
-			if id, ok := deques[wk].Pop(); ok {
-				remaining.Add(-1)
-				return id, true
-			}
-			if remaining.Load() <= 0 {
-				return 0, false
-			}
-			if workers > 1 {
-				// Pick a victim other than ourselves: self-steals are
-				// guaranteed misses (our deque just came up empty).
-				victim := rngs[wk].Intn(workers - 1)
-				if victim >= wk {
-					victim++
-				}
-				if loot := deques[victim].StealHalf(); loot != nil {
-					steals.Add(1)
-					deques[wk].PushBatch(loot)
-					failed = 0
-					continue
-				}
-			}
-			// Failed round: yield first, then back off with bounded
-			// sleeps so the idle tail does not busy-spin.
-			retries.Add(1)
-			failed++
-			if failed <= stealSpinRounds {
-				runtime.Gosched()
-				continue
-			}
-			pause := time.Duration(failed-stealSpinRounds) * stealBackoffStep
-			if pause > stealBackoffMax {
-				pause = stealBackoffMax
-			}
-			time.Sleep(pause)
-		}
-	})
-	res.Steals = steals.Load()
-	res.StealRetry = retries.Load()
+	res := wallRun(fw, h, d, workers, s.next)
+	res.Steals = s.steals.Load()
+	res.StealRetry = s.retries.Load()
 	res.StealSeed = seed
 	return res
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-	"unsafe"
 
 	"execmodels/internal/chem"
 	"execmodels/internal/linalg"
@@ -210,21 +209,11 @@ func TestWallStealingTailBackoff(t *testing.T) {
 	}
 }
 
-// Regression (satellite: false sharing): per-worker scheduling state must
-// be padded to full cache lines so adjacent workers' cursor bumps do not
-// invalidate each other's lines. See also BenchmarkCursorFalseSharing
-// for the measured effect.
-func TestWallPerWorkerStatePadded(t *testing.T) {
-	if s := unsafe.Sizeof(padCell{}); s%64 != 0 {
-		t.Errorf("padCell is %d bytes, want a multiple of 64", s)
-	}
-	if s := unsafe.Sizeof(dynSpan{}); s%64 != 0 {
-		t.Errorf("dynSpan is %d bytes, want a multiple of 64", s)
-	}
-	if s := unsafe.Sizeof(atomicInt64Pad{}); s%64 != 0 {
-		t.Errorf("atomicInt64Pad is %d bytes, want a multiple of 64", s)
-	}
-}
+// The former TestWallPerWorkerStatePadded (unsafe.Sizeof checks on
+// padCell/dynSpan/atomicInt64Pad) is superseded by the padcheck
+// analyzer: the //hotpath:padded annotations on those types make
+// execlint verify cache-line sizing and atomic-field isolation on the
+// gc/amd64 layout.
 
 func TestWallBadWorkersPanics(t *testing.T) {
 	fw := fockWorkload(t, 1)

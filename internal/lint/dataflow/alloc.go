@@ -1,0 +1,546 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocKind classifies one heap-allocation site (or a call the analyzer
+// cannot see through, which on a hot path is the same failure: the
+// allocation-freedom of the function can no longer be proved).
+type AllocKind string
+
+const (
+	// AllocMake: make of a slice, map or channel.
+	AllocMake AllocKind = "make"
+	// AllocNew: new(T).
+	AllocNew AllocKind = "new"
+	// AllocComposite: slice/map composite literal or &T{...}.
+	AllocComposite AllocKind = "composite"
+	// AllocAppend: append may grow the backing array.
+	AllocAppend AllocKind = "append"
+	// AllocString: string concatenation or []byte/[]rune↔string
+	// conversion.
+	AllocString AllocKind = "string"
+	// AllocBox: a non-pointer-shaped concrete value converted to an
+	// interface (call argument, assignment, return, conversion).
+	AllocBox AllocKind = "box"
+	// AllocClosure: a function literal that captures variables and
+	// escapes its defining scope (passed, returned, stored, launched).
+	AllocClosure AllocKind = "closure"
+	// AllocVariadic: an unexpanded variadic call packs its trailing
+	// arguments into a fresh slice.
+	AllocVariadic AllocKind = "variadic"
+	// AllocMapWrite: writing a map key may grow the map.
+	AllocMapWrite AllocKind = "mapwrite"
+	// AllocGo: a go statement allocates a goroutine.
+	AllocGo AllocKind = "go"
+	// AllocIndirect: a call through a function value or interface method
+	// — the engine cannot see the callee, so allocation-freedom is
+	// unprovable.
+	AllocIndirect AllocKind = "indirect"
+	// AllocOpaque: a call into a function outside the analyzed program
+	// that is not on the allowlist.
+	AllocOpaque AllocKind = "opaque"
+)
+
+// AllocSite is one allocation (or unprovable call) found directly in a
+// function body.
+type AllocSite struct {
+	Kind AllocKind
+	Desc string
+	Pos  token.Position
+}
+
+// AllocCall is one statically resolved call edge into the analyzed
+// program.
+type AllocCall struct {
+	Pos    token.Position
+	Callee *Func
+}
+
+// AllocFacts walks one function body and returns its direct allocation
+// sites plus its static call edges into the program, both in source
+// order. allow reports whether an out-of-program callee is known not to
+// allocate (math.Sqrt, atomic ops, ...); callees that are neither
+// indexed nor allowed become AllocOpaque sites.
+//
+// Deliberate precision limits, shared with the taint engine: function
+// literals assigned to a local variable and only invoked are treated as
+// non-escaping even if the variable is later passed elsewhere, and defer
+// is not charged (Go open-codes defers outside loops). The compiler
+// escape-analysis golden test in internal/lint backstops these on the
+// real hot path.
+func (e *Engine) AllocFacts(f *Func, allow func(*types.Func) bool) (sites []AllocSite, calls []AllocCall) {
+	pkg := f.Pkg
+	body := f.Decl.Body
+	if body == nil {
+		return nil, nil
+	}
+	pos := func(n ast.Node) token.Position { return pkg.Fset.Position(n.Pos()) }
+	addSite := func(n ast.Node, kind AllocKind, desc string) {
+		sites = append(sites, AllocSite{Kind: kind, Desc: desc, Pos: pos(n)})
+	}
+
+	calm, locals := e.calmFuncLits(pkg, body)
+	lits := funcLitsIn(body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			e.allocCall(f, x, allow, locals, addSite, &calls)
+		case *ast.FuncLit:
+			if !calm[x] && capturesOuter(pkg, x) {
+				addSite(x, AllocClosure, "closure captures variables and escapes")
+			}
+		case *ast.CompositeLit:
+			if t := typeOf(pkg, x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					addSite(x, AllocComposite, "slice literal allocates its backing array")
+				case *types.Map:
+					addSite(x, AllocComposite, "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := unparen(x.X).(*ast.CompositeLit); isLit {
+					addSite(x, AllocComposite, srcString(pkg, x)+" escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := pkg.Info.Types[x]; ok && tv.Value == nil {
+					if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+						addSite(x, AllocString, "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					if t := typeOf(pkg, idx.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							addSite(lhs, AllocMapWrite, "map write to "+exprString(idx.X)+" may allocate")
+						}
+					}
+				}
+				boxOnStore(pkg, lhs, rhsFor(x, lhs), addSite)
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := unparen(x.X).(*ast.IndexExpr); ok {
+				if t := typeOf(pkg, idx.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						addSite(x, AllocMapWrite, "map write to "+exprString(idx.X)+" may allocate")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			addSite(x, AllocGo, "go statement allocates a goroutine")
+		case *ast.ReturnStmt:
+			ft := enclosingFuncType(f.Decl, lits, x)
+			boxOnReturn(pkg, ft, x, addSite)
+		}
+		return true
+	})
+	return sites, calls
+}
+
+// srcString renders a node as source text for diagnostics — allocation
+// findings quote the offending expression verbatim so the triage step
+// does not need the file open. Long or multi-line renderings are elided.
+func srcString(pkg *Pkg, n ast.Node) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, pkg.Fset, n); err != nil {
+		return "expr"
+	}
+	s := b.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + "…"
+	}
+	if len(s) > 60 {
+		s = s[:60] + "…"
+	}
+	return s
+}
+
+// rhsFor pairs an assignment LHS with its RHS expression (nil for
+// multi-value forms like x, y = f()).
+func rhsFor(a *ast.AssignStmt, lhs ast.Expr) ast.Expr {
+	if len(a.Lhs) != len(a.Rhs) {
+		return nil
+	}
+	for i := range a.Lhs {
+		if a.Lhs[i] == lhs {
+			return a.Rhs[i]
+		}
+	}
+	return nil
+}
+
+// allocCall classifies one call expression: builtin allocators, string
+// conversions, interface boxing of arguments, variadic packing, static
+// edges into the program, and opaque/indirect calls.
+func (e *Engine) allocCall(f *Func, call *ast.CallExpr, allow func(*types.Func) bool, locals map[types.Object]localClosure, addSite func(ast.Node, AllocKind, string), calls *[]AllocCall) {
+	pkg := f.Pkg
+
+	// Conversion, not a call: T(x).
+	if tv, ok := pkg.Info.Types[unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		classifyConversion(pkg, tv.Type, call, addSite)
+		return
+	}
+
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					addSite(call, AllocMake, srcString(pkg, call)+" allocates")
+				case "new":
+					addSite(call, AllocNew, srcString(pkg, call)+" allocates")
+				case "append":
+					addSite(call, AllocAppend, "append may grow and reallocate "+exprString(call.Args[0]))
+				case "panic":
+					if len(call.Args) == 1 {
+						boxValue(pkg, nil, call.Args[0], "panic argument", addSite)
+					}
+				}
+				return
+			}
+		}
+	}
+
+	obj, callee, _ := e.Callee(pkg, call)
+
+	// Boxing and variadic packing happen at the call site regardless of
+	// who the callee is, whenever the signature is known.
+	if obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			boxArgs(pkg, sig, call, addSite)
+			if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+				addSite(call, AllocVariadic, srcString(pkg, call)+" packs variadic arguments into a slice")
+			}
+		}
+	}
+
+	switch {
+	case callee != nil:
+		*calls = append(*calls, AllocCall{Pos: pkg.Fset.Position(call.Pos()), Callee: callee})
+	case obj != nil:
+		if allow == nil || !allow(obj) {
+			addSite(call, AllocOpaque, srcString(pkg, call)+" calls into unanalyzed code — cannot prove allocation-free")
+		}
+	default:
+		// A directly invoked literal (IIFE), or a call through a local
+		// variable bound exactly once to a function literal, is a call
+		// into that literal — and literals are analyzed in the enclosing
+		// frame, so their sites are already collected. Anything else is
+		// unprovable.
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.Ident:
+			if o := identObj(pkg, fun); o != nil {
+				if lc, known := locals[o]; known && lc.binds == 1 && lc.lit != nil {
+					return
+				}
+			}
+		}
+		addSite(call, AllocIndirect, callDesc(call)+" is an indirect call (function value or interface method) — cannot prove allocation-free")
+	}
+}
+
+// classifyConversion flags allocating conversions: string↔[]byte/[]rune
+// and concrete→interface.
+func classifyConversion(pkg *Pkg, target types.Type, call *ast.CallExpr, addSite func(ast.Node, AllocKind, string)) {
+	arg := call.Args[0]
+	src := typeOf(pkg, arg)
+	if src == nil {
+		return
+	}
+	if isString(target) && isByteOrRuneSlice(src) {
+		addSite(call, AllocString, "[]byte/[]rune→string conversion allocates")
+		return
+	}
+	if isByteOrRuneSlice(target) && isString(src) {
+		addSite(call, AllocString, "string→[]byte/[]rune conversion allocates")
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); isIface {
+		boxValue(pkg, target, arg, "conversion to "+types.TypeString(target, shortQualifier), addSite)
+	}
+}
+
+// boxArgs flags non-pointer-shaped concrete values passed to interface
+// parameters (including the flattened variadic element type).
+func boxArgs(pkg *Pkg, sig *types.Signature, call *ast.CallExpr, addSite func(ast.Node, AllocKind, string)) {
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < np-1 || (!sig.Variadic() && i < np):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case sig.Variadic() && i == np-1:
+			pt = sig.Params().At(np - 1).Type() // f(xs...)
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			boxValue(pkg, pt, arg, "argument "+exprString(arg), addSite)
+		}
+	}
+}
+
+// boxOnStore flags assignments of concrete values into interface-typed
+// destinations.
+func boxOnStore(pkg *Pkg, lhs, rhs ast.Expr, addSite func(ast.Node, AllocKind, string)) {
+	if rhs == nil {
+		return
+	}
+	lt := typeOf(pkg, lhs)
+	if lt == nil {
+		return
+	}
+	if _, isIface := lt.Underlying().(*types.Interface); isIface {
+		boxValue(pkg, lt, rhs, "assignment to "+exprString(lhs), addSite)
+	}
+}
+
+// boxOnReturn flags concrete values returned through interface results.
+func boxOnReturn(pkg *Pkg, ft *ast.FuncType, ret *ast.ReturnStmt, addSite func(ast.Node, AllocKind, string)) {
+	if ft == nil || ft.Results == nil {
+		return
+	}
+	var resultTypes []ast.Expr
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, field.Type)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // naked return or multi-value call
+	}
+	for i, r := range ret.Results {
+		rt := typeOf(pkg, resultTypes[i])
+		if rt == nil {
+			continue
+		}
+		if _, isIface := rt.Underlying().(*types.Interface); isIface {
+			boxValue(pkg, rt, r, "return value", addSite)
+		}
+	}
+}
+
+// boxValue reports a boxing allocation unless the value is already an
+// interface, pointer-shaped (interface data word holds the pointer
+// directly), nil, or a constant (the compiler backs boxed constants with
+// static data).
+func boxValue(pkg *Pkg, target types.Type, val ast.Expr, where string, addSite func(ast.Node, AllocKind, string)) {
+	tv, ok := pkg.Info.Types[val]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	vt := tv.Type
+	if vt == nil {
+		return
+	}
+	switch vt.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	if b, isBasic := vt.Underlying().(*types.Basic); isBasic && b.Kind() == types.UnsafePointer {
+		return
+	}
+	addSite(val, AllocBox, exprString(val)+" boxed into interface at "+where)
+}
+
+// localClosure tracks a function-typed local: how many times it is
+// (re)bound in the body and the single literal it is bound to, if any.
+type localClosure struct {
+	binds int
+	lit   *ast.FuncLit
+}
+
+// calmFuncLits returns the function literals that provably do not
+// escape — those directly invoked (IIFE) and those assigned or bound to
+// a local identifier — plus, per local object, its closure binding so
+// calls through the local can be resolved. Everything else — passed as
+// an argument, returned, stored into a field/index/global, launched
+// with go/defer, sent on a channel — escapes.
+func (e *Engine) calmFuncLits(pkg *Pkg, body ast.Node) (map[*ast.FuncLit]bool, map[types.Object]localClosure) {
+	calm := map[*ast.FuncLit]bool{}
+	locals := map[types.Object]localClosure{}
+	bind := func(id *ast.Ident, lit *ast.FuncLit) {
+		obj := identObj(pkg, id)
+		if obj == nil {
+			return
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.Parent() == nil || v.Parent().Parent() == types.Universe {
+			return
+		}
+		lc := locals[obj]
+		lc.binds++
+		lc.lit = lit
+		locals[obj] = lc
+		if lit != nil {
+			calm[lit] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := unparen(x.Fun).(*ast.FuncLit); ok {
+				calm[lit] = true
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				break
+			}
+			for i, rhs := range x.Rhs {
+				id, isIdent := unparen(x.Lhs[i]).(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				if lit, ok := unparen(rhs).(*ast.FuncLit); ok {
+					bind(id, lit)
+				} else if isFuncType(pkg, x.Lhs[i]) {
+					bind(id, nil) // rebound to something other than a literal
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range x.Values {
+				if lit, ok := unparen(rhs).(*ast.FuncLit); ok {
+					if i < len(x.Names) {
+						bind(x.Names[i], lit)
+					} else {
+						calm[lit] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return calm, locals
+}
+
+// isFuncType reports whether the expression has function type.
+func isFuncType(pkg *Pkg, e ast.Expr) bool {
+	t := typeOf(pkg, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// capturesOuter reports whether the literal references any variable
+// declared outside its own body (a closure with no free variables is a
+// static func value — no allocation).
+func capturesOuter(pkg *Pkg, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, isVar := pkg.Info.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// funcLitsIn collects every function literal under body.
+func funcLitsIn(body ast.Node) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// enclosingFuncType returns the signature a return statement returns
+// through: the innermost containing function literal, or the declaration
+// itself.
+func enclosingFuncType(fd *ast.FuncDecl, lits []*ast.FuncLit, ret *ast.ReturnStmt) *ast.FuncType {
+	var best *ast.FuncLit
+	for _, lit := range lits {
+		if lit.Body.Pos() <= ret.Pos() && ret.End() <= lit.Body.End() {
+			if best == nil || (best.Body.Pos() <= lit.Body.Pos() && lit.Body.End() <= best.Body.End()) {
+				best = lit
+			}
+		}
+	}
+	if best != nil {
+		return best.Type
+	}
+	return fd.Type
+}
+
+// typeOf returns the type of an expression, or nil without type info.
+func typeOf(pkg *Pkg, e ast.Expr) types.Type {
+	if pkg.Info == nil {
+		return nil
+	}
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(pkg *Pkg, id *ast.Ident) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// shortQualifier renders package names without import paths in type
+// strings used for diagnostics.
+func shortQualifier(p *types.Package) string { return p.Name() }

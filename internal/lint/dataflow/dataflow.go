@@ -181,6 +181,21 @@ func New(pkgs []*Pkg) *Engine {
 // Funcs returns the number of indexed functions (used by tests).
 func (e *Engine) Funcs() int { return len(e.funcs) }
 
+// Each calls fn for every indexed function in sorted-ID order.
+func (e *Engine) Each(fn func(*Func)) {
+	for _, id := range e.ids {
+		fn(e.funcs[id])
+	}
+}
+
+// ExtendPath is the exported form of extend: it returns p with s
+// appended, respecting the path-length cap, without mutating p.
+func ExtendPath(p Path, s Step) Path { return extend(p, s) }
+
+// FuncName returns the short display name of an indexed function
+// ("pkg.Fn" or "pkg.T.M").
+func FuncName(f *Func) string { return f.name() }
+
 // Lookup returns the indexed function for a resolved *types.Func, or nil
 // when the callee is outside the loaded program.
 func (e *Engine) Lookup(obj *types.Func) *Func {

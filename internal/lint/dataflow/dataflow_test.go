@@ -240,3 +240,49 @@ func TestFuncIDStability(t *testing.T) {
 		}
 	}
 }
+
+const completionSrc = `package p
+
+// spinA and spinB are mutually recursive: the close propagates through
+// the cycle, and the summary must converge instead of growing a longer
+// re-rooted entry every fixpoint round.
+func spinA(ch chan int, n int) {
+	if n == 0 {
+		close(ch)
+		return
+	}
+	spinB(ch, n-1)
+}
+
+func spinB(ch chan int, n int) {
+	spinA(ch, n)
+}
+
+// selfDone recurses directly while sending.
+func selfDone(out chan int, n int) {
+	if n > 0 {
+		out <- n
+		selfDone(out, n-1)
+	}
+}
+`
+
+func TestCompletionsRecursionTerminates(t *testing.T) {
+	eng := New([]*Pkg{loadSrc(t, completionSrc)})
+	sums := eng.Completions() // must not hit the iteration cap or grow unboundedly
+	for _, id := range []string{"p.spinA", "p.spinB"} {
+		comps := sums[id]
+		if len(comps) != 1 {
+			t.Fatalf("%s: %d completion entries, want 1 (the propagated close): %v", id, len(comps), comps)
+		}
+		if comps[0].Kind != CompleteClose {
+			t.Errorf("%s: kind = %q, want %q", id, comps[0].Kind, CompleteClose)
+		}
+		if comps[0].Root != 0 {
+			t.Errorf("%s: root = %d, want parameter 0", id, comps[0].Root)
+		}
+	}
+	if got := sums["p.selfDone"]; len(got) != 1 || got[0].Kind != CompleteSend {
+		t.Errorf("p.selfDone: %v, want a single send entry", got)
+	}
+}

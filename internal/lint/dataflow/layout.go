@@ -1,0 +1,57 @@
+package dataflow
+
+import "go/types"
+
+// layoutSizes is the size model for padcheck. Hot-path padding targets
+// the production platform (linux/amd64, 8-byte words, 64-byte cache
+// lines); the analyzer states a fact about that layout regardless of
+// the host the linter runs on.
+var layoutSizes = types.SizesFor("gc", "amd64")
+
+// CacheLine is the cache-line granularity the padding checks assume.
+const CacheLine = 64
+
+// FieldFact is one field of an analyzed struct layout.
+type FieldFact struct {
+	Name   string
+	Offset int64
+	Size   int64
+	Atomic bool // declared type lives in sync/atomic
+	Blank  bool // padding field "_"
+}
+
+// StructLayout computes the gc/amd64 size and field offsets of a
+// struct.
+func StructLayout(st *types.Struct) (size int64, fields []FieldFact) {
+	n := st.NumFields()
+	vars := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = st.Field(i)
+	}
+	offsets := layoutSizes.Offsetsof(vars)
+	for i, v := range vars {
+		fields = append(fields, FieldFact{
+			Name:   v.Name(),
+			Offset: offsets[i],
+			Size:   layoutSizes.Sizeof(v.Type()),
+			Atomic: isAtomicType(v.Type()),
+			Blank:  v.Name() == "_",
+		})
+	}
+	return layoutSizes.Sizeof(st), fields
+}
+
+// isAtomicType reports whether t (or its element for arrays) is a named
+// type from sync/atomic — atomic.Int64, atomic.Bool, atomic.Pointer[T],
+// and friends.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, isAlias := t.(*types.Alias); isAlias {
+			return isAtomicType(types.Unalias(alias))
+		}
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

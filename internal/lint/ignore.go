@@ -1,39 +1,97 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"regexp"
 	"strings"
 )
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment. used is shared
+// between the two lines the directive covers, so the stale-suppression
+// report can tell whether the directive earned its keep during a run.
 type ignoreDirective struct {
 	check  string
 	reason string
+	pos    token.Position
+	used   *bool
 }
 
 // ignoreIndex maps file → line → directives active for that line.
-type ignoreIndex map[string]map[int][]ignoreDirective
+type ignoreIndex map[string]map[int][]*ignoreDirective
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore(\s+(\S+))?(\s+(\S.*))?$`)
 
+// parseIgnore parses one comment's text as a //lint:ignore directive.
+// ok is false when the comment is not a directive at all; malformed is
+// true when it starts like one but is missing the check name or the
+// reason. This is a pure function so it can be fuzzed directly.
+func parseIgnore(text string) (check, reason string, ok, malformed bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "//lint:ignore") {
+		return "", "", false, false
+	}
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil || m[2] == "" || strings.TrimSpace(m[4]) == "" {
+		return "", "", false, true
+	}
+	return m[2], strings.TrimSpace(m[4]), true, false
+}
+
+// hotpathKinds are the valid //hotpath: annotation kinds:
+//
+//	//hotpath:allocfree — on a function: the allocfree check proves
+//	  every call chain from it allocation-free;
+//	//hotpath:padded — on a struct type: the padcheck check proves its
+//	  size is a cache-line multiple and its atomics are isolated.
+var hotpathKinds = map[string]bool{"allocfree": true, "padded": true}
+
+// parseHotpath parses one comment's text as a //hotpath:<kind> directive
+// (optional trailing free-form note allowed). ok is false when the
+// comment is not a hotpath directive; malformed is true when the kind is
+// missing or unknown — a misspelled annotation would otherwise silently
+// unprotect a hot path. Pure, for fuzzing.
+func parseHotpath(text string) (kind string, ok, malformed bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "//hotpath:") {
+		return "", false, false
+	}
+	rest := strings.TrimPrefix(text, "//hotpath:")
+	kind = rest
+	if i := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' }); i >= 0 {
+		kind = rest[:i]
+	}
+	if !hotpathKinds[kind] {
+		return kind, false, true
+	}
+	return kind, true, false
+}
+
 // collectIgnores scans every comment in the package for //lint:ignore
-// directives. Malformed directives (missing check name or missing reason)
-// are returned as findings themselves: a suppression without a written
-// justification is exactly the silent exception this suite exists to
-// prevent.
-func collectIgnores(pkg *Package) (ignoreIndex, []Finding) {
-	idx := ignoreIndex{}
-	var malformed []Finding
+// and //hotpath: directives. Malformed directives (missing check name,
+// missing reason, unknown hotpath kind) are returned as findings
+// themselves: a suppression or annotation with a typo is exactly the
+// silent exception this suite exists to prevent. all lists each
+// well-formed ignore directive once, for stale-suppression reporting.
+func collectIgnores(pkg *Package) (idx ignoreIndex, all []*ignoreDirective, malformed []Finding) {
+	idx = ignoreIndex{}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(c.Text)
-				if !strings.HasPrefix(text, "//lint:ignore") {
+				pos := pkg.Fset.Position(c.Pos())
+				if kind, ok, bad := parseHotpath(text); bad {
+					malformed = append(malformed, Finding{
+						Pos:     pos,
+						Check:   "hotpath",
+						Message: "malformed //hotpath: directive (kind " + strings.TrimSpace(kind) + "): want //hotpath:allocfree or //hotpath:padded",
+					})
+					continue
+				} else if ok {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				m := ignoreRe.FindStringSubmatch(text)
-				if m == nil || m[2] == "" || strings.TrimSpace(m[4]) == "" {
+				check, reason, ok, bad := parseIgnore(text)
+				if bad {
 					malformed = append(malformed, Finding{
 						Pos:     pos,
 						Check:   "ignore",
@@ -41,12 +99,16 @@ func collectIgnores(pkg *Package) (ignoreIndex, []Finding) {
 					})
 					continue
 				}
+				if !ok {
+					continue
+				}
 				byLine := idx[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]ignoreDirective{}
+					byLine = map[int][]*ignoreDirective{}
 					idx[pos.Filename] = byLine
 				}
-				d := ignoreDirective{check: m[2], reason: strings.TrimSpace(m[4])}
+				d := &ignoreDirective{check: check, reason: reason, pos: pos, used: new(bool)}
+				all = append(all, d)
 				// A directive suppresses matching findings on its own line
 				// (end-of-line comment) and on the line below (comment
 				// above the statement).
@@ -55,13 +117,30 @@ func collectIgnores(pkg *Package) (ignoreIndex, []Finding) {
 			}
 		}
 	}
-	return idx, malformed
+	return idx, all, malformed
 }
 
-// suppresses reports whether a directive covers the finding.
+// suppresses reports whether a directive covers the finding, marking
+// the directive used when it does.
 func (idx ignoreIndex) suppresses(f Finding) bool {
+	hit := false
 	for _, d := range idx[f.Pos.Filename][f.Pos.Line] {
 		if d.check == f.Check {
+			*d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// hasHotpathDoc reports whether a doc comment group carries a
+// //hotpath:<kind> directive.
+func hasHotpathDoc(doc *ast.CommentGroup, kind string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if k, ok, _ := parseHotpath(strings.TrimSpace(c.Text)); ok && k == kind {
 			return true
 		}
 	}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleSuppressions: a directive that suppressed nothing this run is
+// reported, one that fired is not, and directives naming unselected
+// checks are left alone (that run never gave them a chance to fire).
+func TestStaleSuppressions(t *testing.T) {
+	pkg := loadFixture(t, "staleignore")
+	det := NewDeterminism()
+	det.Packages = []string{"fixture/staleignore"}
+	findings, stale := RunWithStale([]*Package{pkg}, []Analyzer{det})
+	if len(findings) != 0 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want 0 (the live directive suppresses the only one)", len(findings))
+	}
+	if len(stale) != 1 {
+		for _, f := range stale {
+			t.Logf("stale: %s", f)
+		}
+		t.Fatalf("got %d stale reports, want exactly 1 (dead's directive)", len(stale))
+	}
+	f := stale[0]
+	if f.Check != "staleignore" {
+		t.Errorf("stale check = %q, want staleignore", f.Check)
+	}
+	if !strings.Contains(f.Message, "//lint:ignore determinism suppresses nothing") {
+		t.Errorf("stale message = %q, want the suppresses-nothing wording naming the check", f.Message)
+	}
+}
+
+// FuzzDirectiveParse hammers the pure directive parsers: arbitrary
+// comment text must classify cleanly (directive, malformed, or not ours)
+// and never panic — execlint parses every comment in the repository.
+func FuzzDirectiveParse(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore determinism a fine reason",
+		"//lint:ignore determinism",
+		"//lint:ignore",
+		"//lint:ignore  spaced   out  reason here",
+		"//lint:ignoreallocfree glued",
+		"// a regular comment",
+		"//hotpath:allocfree",
+		"//hotpath:padded trailing note",
+		"//hotpath:fast",
+		"//hotpath:",
+		"//hotpath: allocfree",
+		"//hotpath:\tallocfree",
+		"//lint:ignore \x00 binary",
+		"//hotpath:allocfree\r\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, ok, malformed := parseIgnore(text)
+		if ok && malformed {
+			t.Fatalf("parseIgnore(%q): ok and malformed at once", text)
+		}
+		if ok && (check == "" || reason == "") {
+			t.Fatalf("parseIgnore(%q): ok with empty check %q / reason %q", text, check, reason)
+		}
+		if !ok && !malformed && strings.HasPrefix(strings.TrimSpace(text), "//lint:ignore") {
+			t.Fatalf("parseIgnore(%q): directive prefix classified as not-a-directive", text)
+		}
+		kind, ok2, malformed2 := parseHotpath(text)
+		if ok2 && malformed2 {
+			t.Fatalf("parseHotpath(%q): ok and malformed at once", text)
+		}
+		if ok2 && !hotpathKinds[kind] {
+			t.Fatalf("parseHotpath(%q): accepted unknown kind %q", text, kind)
+		}
+		if !ok2 && !malformed2 && strings.HasPrefix(strings.TrimSpace(text), "//hotpath:") {
+			t.Fatalf("parseHotpath(%q): directive prefix classified as not-a-directive", text)
+		}
+	})
+}

@@ -28,6 +28,22 @@
 //     their critical section (return, global store, channel send,
 //     goroutine capture).
 //
+// Three more turn the zero-alloc arena invariant and the executor
+// lifecycle rules into compile-time proofs:
+//
+//   - allocfree: every call chain from a function annotated
+//     //hotpath:allocfree is proved free of heap allocation — make/new,
+//     composite literals, append growth, string building, interface
+//     boxing, escaping closures, variadic packing and map writes are all
+//     reported with a rendered root→call-chain→site path;
+//   - goleak: every go statement in the executor packages must have a
+//     statically visible completion edge (wg.Add/Done pairing, channel
+//     close/send/receive, or context cancellation) so workers cannot
+//     leak past wg.Wait;
+//   - padcheck: struct types annotated //hotpath:padded must stay
+//     cache-line-sized (a multiple of 64 bytes on gc/amd64) and keep
+//     their atomics away from unrelated mutable fields (false sharing).
+//
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/token, go/types); the module stays dependency-free.
 //
@@ -35,7 +51,8 @@
 //
 //	//lint:ignore <check> <reason>
 //
-// on the offending line or the line above. The reason is mandatory.
+// on the offending line or the line above. The reason is mandatory, and
+// RunWithStale reports directives that no longer suppress anything.
 package lint
 
 import (
@@ -89,6 +106,9 @@ func All() []Analyzer {
 		NewClockTaint(),
 		NewMapOrder(),
 		NewLockset(),
+		NewAllocFree(),
+		NewGoleak(),
+		NewPadCheck(),
 	}
 }
 
@@ -98,11 +118,41 @@ func All() []Analyzer {
 // package; ProgramAnalyzers run once over the whole package set so their
 // call-graph summaries see helpers in other packages.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	findings, _ := run(pkgs, analyzers)
+	return findings
+}
+
+// RunWithStale is Run plus suppression hygiene: the second return lists
+// a "staleignore" finding for every //lint:ignore directive naming one
+// of the selected analyzers that suppressed nothing this run — dead
+// suppressions hide the next real finding on their line.
+func RunWithStale(pkgs []*Package, analyzers []Analyzer) (findings, stale []Finding) {
+	findings, directives := run(pkgs, analyzers)
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name()] = true
+	}
+	for _, d := range directives {
+		if selected[d.check] && !*d.used {
+			stale = append(stale, Finding{
+				Pos:     d.pos,
+				Check:   "staleignore",
+				Message: fmt.Sprintf("//lint:ignore %s suppresses nothing — remove the directive or restate why it is needed", d.check),
+			})
+		}
+	}
+	SortFindings(stale)
+	return findings, stale
+}
+
+func run(pkgs []*Package, analyzers []Analyzer) ([]Finding, []*ignoreDirective) {
 	var out []Finding
+	var directives []*ignoreDirective
 	ignores := ignoreIndex{}
 	for _, pkg := range pkgs {
-		idx, malformed := collectIgnores(pkg)
+		idx, all, malformed := collectIgnores(pkg)
 		out = append(out, malformed...)
+		directives = append(directives, all...)
 		for file, byLine := range idx {
 			ignores[file] = byLine
 		}
@@ -130,6 +180,13 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 			keep(pa.RunProgram(pkgs))
 		}
 	}
+	SortFindings(out)
+	return out, directives
+}
+
+// SortFindings orders findings by position, then check, then message —
+// the canonical deterministic report order.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -146,7 +203,6 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // hasSuffixPath reports whether pkgPath equals suffix or ends with

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"execmodels/internal/lint/dataflow"
+)
+
+// PadCheck verifies struct types annotated //hotpath:padded: their
+// gc/amd64 size must be a multiple of the 64-byte cache line (adjacent
+// array elements must not share lines — the false-sharing regression the
+// wall-clock executors pad against), and atomic fields must not share a
+// cache line with another named field (an atomic CAS next to a mutable
+// cursor invalidates the neighbor's line on every bump). It replaces the
+// hand-written unsafe.Sizeof tests.
+type PadCheck struct{}
+
+// NewPadCheck returns the check.
+func NewPadCheck() *PadCheck { return &PadCheck{} }
+
+func (p *PadCheck) Name() string { return "padcheck" }
+func (p *PadCheck) Doc() string {
+	return "//hotpath:padded structs must be a multiple of 64 bytes and keep atomics off shared cache lines (gc/amd64 layout)"
+}
+
+// AppliesTo is true everywhere; the check self-scopes through the
+// //hotpath:padded annotations.
+func (p *PadCheck) AppliesTo(pkgPath string) bool { return true }
+
+// Run analyzes one package.
+func (p *PadCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasHotpathDoc(doc, "padded") {
+					continue
+				}
+				out = append(out, p.checkType(pkg, ts)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkType verifies one annotated type.
+func (p *PadCheck) checkType(pkg *Package, ts *ast.TypeSpec) []Finding {
+	pos := pkg.Fset.Position(ts.Name.Pos())
+	obj := pkg.Info.Defs[ts.Name]
+	if obj == nil {
+		return nil // no type info; the loader already reported errors
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return []Finding{{
+			Pos:     pos,
+			Check:   p.Name(),
+			Message: "//hotpath:padded applies only to struct types; " + ts.Name.Name + " is " + obj.Type().Underlying().String(),
+		}}
+	}
+	var out []Finding
+	size, fields := dataflow.StructLayout(st)
+	if size%dataflow.CacheLine != 0 {
+		pad := dataflow.CacheLine - size%dataflow.CacheLine
+		out = append(out, Finding{
+			Pos:   pos,
+			Check: p.Name(),
+			Message: fmt.Sprintf("%s: size %d bytes is not a multiple of the %d-byte cache line — adjacent array elements will share lines (add %d bytes of padding)",
+				ts.Name.Name, size, dataflow.CacheLine, pad),
+		})
+	}
+	for i, f := range fields {
+		if !f.Atomic {
+			continue
+		}
+		lineStart := (f.Offset / dataflow.CacheLine) * dataflow.CacheLine
+		lineEnd := ((f.Offset+f.Size-1)/dataflow.CacheLine + 1) * dataflow.CacheLine
+		for j, g := range fields {
+			if i == j || g.Blank || g.Size == 0 {
+				continue
+			}
+			if g.Offset < lineEnd && g.Offset+g.Size > lineStart {
+				out = append(out, Finding{
+					Pos:   pos,
+					Check: p.Name(),
+					Message: fmt.Sprintf("%s: atomic field %s (offset %d) shares a cache line with %s (offset %d) — pad between them to stop false sharing",
+						ts.Name.Name, f.Name, f.Offset, g.Name, g.Offset),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package allocfree is an execlint fixture: one example of every
+// allocation-site class the allocfree check recognizes, reached from
+// //hotpath:allocfree roots, plus the clean shapes the check must stay
+// silent on (allowlisted callees, non-escaping local closures, and
+// unannotated cold code).
+package allocfree
+
+import (
+	"math"
+	"sort"
+)
+
+// point is a small value struct: its value-typed composite literal does
+// not allocate; taking the literal's address does.
+type point struct{ x, y int }
+
+// buffer backs the multi-hop case.
+type buffer struct{ data [4]float64 }
+
+var sinkFn func() int
+
+// sink accepts an interface, forcing callers to box concrete values.
+func sink(v interface{}) { _ = v }
+
+// take stores the closure into a global, making it escape.
+func take(f func() int) { sinkFn = f }
+
+// variadicSum packs its arguments unless called with xs... .
+func variadicSum(xs ...int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// spin is an allocation-free goroutine body.
+func spin() {}
+
+// Root walks one example of every direct allocation-site class.
+//
+//hotpath:allocfree
+func Root(n int, s, t string, bs []byte, m map[string]int, xs []int, f func() int) {
+	buf := make([]float64, 4)     // want `make\(\[\]float64, 4\) allocates`
+	p := new(int)                 // want `new\(int\) allocates`
+	ints := []int{1, 2, 3}        // want `slice literal allocates its backing array`
+	tab := map[string]int{"a": 1} // want `map literal allocates`
+	pt := &point{1, 2}            // want `escapes to the heap`
+	xs = append(xs, 4)            // want `append may grow and reallocate xs`
+	u := s + t                    // want `string concatenation allocates`
+	raw := []byte(s)              // want `string→\[\]byte/\[\]rune conversion allocates`
+	str := string(bs)             // want `\[\]byte/\[\]rune→string conversion allocates`
+	sink(n)                       // want `n boxed into interface at argument n`
+	var box interface{}
+	box = n                       // want `n boxed into interface at assignment to box`
+	m["k"] = n                    // want `map write to m may allocate`
+	total := variadicSum(1, 2, 3) // want `packs variadic arguments into a slice`
+	go spin()                     // want `go statement allocates a goroutine`
+	take(func() int { return n }) // want `closure captures variables and escapes`
+	total += f()                  // want `f is an indirect call`
+	sort.Ints(ints)               // want `sort\.Ints\(ints\) calls into unanalyzed code`
+	_, _, _, _, _, _, _, _, _ = buf, p, pt, u, raw, str, box, total, tab
+}
+
+// retBox boxes through its interface result.
+//
+//hotpath:allocfree
+func retBox(n int) interface{} {
+	return n // want `n boxed into interface at return value`
+}
+
+// Deep reaches its allocation three hops down; the finding's rendered
+// path must name every hop from the root to the site.
+//
+//hotpath:allocfree
+func Deep() *buffer { return hopA() }
+
+func hopA() *buffer { return hopB() }
+
+func hopB() *buffer {
+	return &buffer{} // want `hot path \S*Deep is not allocation-free: &buffer\{\} escapes to the heap.*calls \S*hopA.*calls \S*hopB`
+}
+
+// CleanLocalClosure: a literal bound once to a local and only invoked is
+// analyzed in the enclosing frame — neither the binding nor the calls
+// through it report.
+//
+//hotpath:allocfree
+func CleanLocalClosure(n int) int {
+	idx := func(i int) int { return i * n }
+	total := func() int { return idx(0) }() // IIFE: also non-escaping
+	for i := 0; i < n; i++ {
+		total += idx(i)
+	}
+	return total
+}
+
+// CleanMath exercises the out-of-program allowlist.
+//
+//hotpath:allocfree
+func CleanMath(x float64) float64 { return math.Sqrt(x) * math.Abs(x) }
+
+// coldSetup allocates freely: it is neither annotated nor reachable
+// from any annotated root, so the check says nothing about it.
+func coldSetup(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1.0)
+}

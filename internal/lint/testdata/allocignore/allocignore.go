@@ -1,0 +1,25 @@
+// Package allocignore is an execlint fixture: per-site //lint:ignore
+// allocfree suppressions through the driver. The sanctioned cold-start
+// allocation stays quiet for every root that reaches it; the
+// unsuppressed one reports.
+package allocignore
+
+// state is a reusable arena.
+type state struct{ buf []float64 }
+
+// grow is the sanctioned cold-start allocation.
+func (s *state) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) //lint:ignore allocfree fixture: arena grows once, then every call reuses it
+	}
+	s.buf = s.buf[:n]
+}
+
+// hot is the annotated root.
+//
+//hotpath:allocfree
+func (s *state) hot(n int) float64 {
+	s.grow(n)
+	tmp := make([]float64, 2) // stays flagged: no directive
+	return s.buf[0] + tmp[0]
+}

@@ -1,0 +1,107 @@
+// Package goleak is an execlint fixture: go statements with and without
+// a statically visible completion edge.
+package goleak
+
+import (
+	"sync"
+	"time"
+)
+
+// work is a plain helper with no completion edge of its own.
+func work() {}
+
+// leak spawns a goroutine nothing ever waits for.
+func leak() {
+	go work() // want `goroutine has no completion edge`
+}
+
+// leakLit is the same leak with a literal body.
+func leakLit(n int) {
+	go func() { // want `goroutine has no completion edge`
+		_ = n * 2
+	}()
+}
+
+// waited is the canonical pattern: Add dominates the launch, the body
+// defers Done.
+func waited(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneWithoutAdd calls Done on a local WaitGroup no Add ever armed:
+// Wait can return before the worker finishes.
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `no wg\.Add dominates the go statement`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// closer signals completion by closing a channel.
+func closer() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// sender signals completion by sending its result.
+func sender() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return <-out
+}
+
+// ctxStyle: blocking on a cancellation channel is a completion edge.
+func ctxStyle(cancel chan struct{}) {
+	go func() {
+		<-cancel
+		work()
+	}()
+}
+
+// worker is the interprocedural case: the Done lives in the callee, on
+// a *sync.WaitGroup parameter.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// viaHelper launches worker; the engine's summary re-roots worker's
+// Done at the caller's WaitGroup, where the Add pairs with it.
+func viaHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// viaHelperNoAdd launches worker without arming the WaitGroup.
+func viaHelperNoAdd() {
+	var wg sync.WaitGroup
+	go worker(&wg) // want `no wg\.Add dominates the go statement`
+	wg.Wait()
+}
+
+// indirect launches a function value; the engine cannot see the body.
+func indirect(f func()) {
+	go f() // want `goroutine target is a function value`
+}
+
+// outside launches a function outside the analyzed program.
+func outside() {
+	go time.Sleep(time.Millisecond) // want `outside the analyzed program`
+}

@@ -1,0 +1,12 @@
+// Package hotpathbad is an execlint fixture: malformed //hotpath:
+// directives are diagnosed, never silently ignored — a typo in the kind
+// would otherwise unprotect a hot path.
+package hotpathbad
+
+//hotpath:fast
+func mystery() {}
+
+// wellFormed stays quiet: the kind is known.
+//
+//hotpath:allocfree
+func wellFormed() {}

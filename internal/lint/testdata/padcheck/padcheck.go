@@ -1,0 +1,45 @@
+// Package padcheck is an execlint fixture: //hotpath:padded layout
+// verdicts, computed on the gc/amd64 layout the check pins.
+package padcheck
+
+import "sync/atomic"
+
+// good is exactly one cache line.
+//
+//hotpath:padded
+type good struct {
+	cursor int64
+	_      [56]byte
+}
+
+// short is 16 bytes: adjacent array elements share cache lines.
+//
+//hotpath:padded
+type short struct { // want `size 16 bytes is not a multiple of the 64-byte cache line`
+	cursor int64
+	limit  int64
+}
+
+// isolated keeps its atomic alone on its line.
+//
+//hotpath:padded
+type isolated struct {
+	count atomic.Int64
+	_     [56]byte
+	name  int64
+	_     [56]byte
+}
+
+// shared parks a mutable cursor on the atomic's cache line.
+//
+//hotpath:padded
+type shared struct { // want `atomic field count \(offset 0\) shares a cache line with cursor \(offset 8\)`
+	count  atomic.Int64
+	cursor int64
+	_      [48]byte
+}
+
+// scalar is not a struct at all.
+//
+//hotpath:padded
+type scalar int64 // want `//hotpath:padded applies only to struct types`

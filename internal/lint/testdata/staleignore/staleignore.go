@@ -1,0 +1,26 @@
+// Package staleignore is an execlint fixture for suppression hygiene:
+// one live directive, one dead one, and one naming a check outside the
+// run's selection.
+package staleignore
+
+import "math/rand"
+
+// live suppresses a real determinism finding.
+func live() float64 {
+	//lint:ignore determinism fixture: justified suppression that stays live
+	return rand.Float64()
+}
+
+// dead carries a directive with nothing left to suppress — the call it
+// once covered is gone.
+func dead() int {
+	//lint:ignore determinism fixture: the finding this covered is gone
+	return 42
+}
+
+// otherCheck names a check not selected in the hygiene run; the report
+// must not call it stale — that run never gave it a chance to fire.
+func otherCheck() int {
+	//lint:ignore floateq fixture: different check, not selected in this run
+	return 1
+}
