@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint lint-determinism lint-fuzz zero-alloc bench bench-wall cover cover-check fuzz blame metrics experiments figures faults clean
+.PHONY: all build test race lint lint-determinism lint-fuzz zero-alloc bench bench-wall bench-serve cover cover-check fuzz fuzz-serve serve serve-smoke blame metrics experiments figures faults clean
 
 all: build test lint
 
@@ -62,6 +62,21 @@ bench-wall:
 	go run ./cmd/benchsuite -wall BENCH_wall.json -scale small
 	go run ./cmd/benchsuite -exp W1 -scale small
 
+# Run the SCF job server locally (spool ./spool, Ctrl-C drains cleanly).
+serve:
+	go run ./cmd/scfd -addr :8080 -spool spool
+
+# Regenerate the committed load-test report: scfd + a 1000-client
+# heavy-tailed scfload run (latency percentiles, throughput, per-tenant
+# Jain fairness). Host-dependent, like BENCH_wall.json.
+bench-serve:
+	bash scripts/bench_serve.sh BENCH_serve.json
+
+# The kill -9 / restart / resume smoke CI runs: burst load, a long job
+# killed mid-run, checkpoint resume after restart, graceful drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh bench_serve_ci.json
+
 cover:
 	go test -coverprofile=cover.out ./internal/...
 	go tool cover -func=cover.out | tail -1
@@ -78,6 +93,11 @@ cover-check:
 # Short deterministic fuzz pass (CI runs the same budget).
 fuzz:
 	go test ./internal/core/ -fuzz FuzzSemiVsHypergraphAssignment -fuzztime 30s -run '^$$'
+
+# Fuzz the job-server spec decoder: untrusted submissions must never
+# panic, and accepted specs must survive Validate and a JSON round trip.
+fuzz-serve:
+	go test ./internal/serve/ -fuzz FuzzJobSpecDecode -fuzztime 30s -run '^$$'
 
 # The observability walkthrough, run twice: byte-identical output is the
 # layer's core promise.

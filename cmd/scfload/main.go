@@ -1,0 +1,286 @@
+// Command scfload is the load generator for scfd: it hammers the job
+// API with many concurrent clients submitting a heavy-tailed mix of
+// water-cluster SCF jobs (size sweep × basis × charge) across several
+// tenants, honors 429 Retry-After back-pressure, waits for every job's
+// terminal state, and writes the latency/throughput/fairness report
+// consumed as BENCH_serve.json.
+//
+// Usage:
+//
+//	scfload -addr http://127.0.0.1:8080 -clients 1000 -jobs 1500 -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"execmodels/internal/bench"
+)
+
+// sizeClass is one point of the heavy-tailed job-size distribution.
+type sizeClass struct {
+	molecule string
+	basis    string
+	charge   int
+}
+
+// sizeClasses returns the job mix, ordered smallest to largest so a
+// Zipf draw over the index is heavy-tailed toward cheap jobs with a
+// long tail of expensive ones — the open-loop arrival pattern the fair
+// queue and admission controller exist for.
+func sizeClasses() []sizeClass {
+	return []sizeClass{
+		{"waters:1", "sto-3g", 0},
+		{"waters:1", "sto-3g", 2},
+		{"waters:2", "sto-3g", 0},
+		{"waters:1", "6-31g", 0},
+		{"waters:3", "sto-3g", 0},
+		{"waters:2", "6-31g", 2},
+		{"waters:4", "sto-3g", 0},
+		{"waters:3", "6-31g", 0},
+	}
+}
+
+type client struct {
+	http    *http.Client
+	base    string
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	classes []sizeClass
+	tenants []string
+	poll    time.Duration
+}
+
+type submitResponse struct {
+	ID      string  `json:"id"`
+	EstCost float64 `json:"estCost"`
+}
+
+type jobStatus struct {
+	State     string  `json:"state"`
+	Energy    float64 `json:"energy"`
+	Converged bool    `json:"converged"`
+	Error     string  `json:"error"`
+}
+
+// runOne submits one job (retrying through 429 back-pressure) and waits
+// for its terminal state.
+func (c *client) runOne(jobNo int) (bench.ServeSample, error) {
+	class := c.classes[c.zipf.Uint64()]
+	tenant := c.tenants[jobNo%len(c.tenants)]
+	spec := map[string]any{
+		"tenant":   tenant,
+		"molecule": class.molecule,
+		"basis":    class.basis,
+		"priority": c.rng.Intn(10),
+		"seed":     int64(jobNo),
+	}
+	if class.charge != 0 {
+		spec["charge"] = class.charge
+	}
+	body, _ := json.Marshal(spec)
+
+	sample := bench.ServeSample{
+		Tenant:   tenant,
+		Molecule: class.molecule,
+		Basis:    class.basis,
+	}
+	start := time.Now()
+
+	var sub submitResponse
+	for {
+		resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sample, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			if err := json.Unmarshal(data, &sub); err != nil {
+				return sample, fmt.Errorf("bad submit response: %w", err)
+			}
+		case http.StatusTooManyRequests:
+			sample.Rejected++
+			wait := 1
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = ra
+			}
+			// Honor the hint, desynchronized so rejected clients do not
+			// return as a thundering herd.
+			time.Sleep(time.Duration(wait)*time.Second + time.Duration(c.rng.Intn(250))*time.Millisecond)
+			continue
+		default:
+			return sample, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		break
+	}
+	sample.SubmitSec = time.Since(start).Seconds()
+	sample.EstCost = sub.EstCost
+
+	for {
+		st, err := c.status(sub.ID)
+		if err != nil {
+			return sample, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			sample.LatencySec = time.Since(start).Seconds()
+			sample.Converged = st.Converged
+			sample.Failed = st.State == "failed"
+			return sample, nil
+		}
+		time.Sleep(c.poll + time.Duration(c.rng.Intn(int(c.poll))))
+	}
+}
+
+func (c *client) status(id string) (*jobStatus, error) {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s: %s", id, resp.Status)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// serverWorkers asks /healthz for the server's worker-pool size (report
+// metadata only; 0 when unavailable).
+func serverWorkers(base string) int {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Workers int `json:"workers"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&h) != nil {
+		return 0
+	}
+	return h.Workers
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "scfd base URL")
+		clients    = flag.Int("clients", 1000, "concurrent client goroutines")
+		jobs       = flag.Int("jobs", 1500, "total jobs to submit")
+		out        = flag.String("out", "BENCH_serve.json", "report output path")
+		seed       = flag.Int64("seed", 1, "load-mix seed")
+		zipfS      = flag.Float64("zipf-s", 1.6, "Zipf exponent of the size distribution (larger = lighter tail)")
+		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
+		tenantSpec = flag.String("tenants", "acme=3,blue=1,guest=1", "tenant=weight list; weights must match the server's -weights for a meaningful fairness index")
+	)
+	flag.Parse()
+
+	weights := map[string]float64{}
+	var tenants []string
+	for _, part := range strings.Split(*tenantSpec, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		w := 1.0
+		if ok {
+			parsed, err := strconv.ParseFloat(val, 64)
+			if err != nil || parsed <= 0 {
+				log.Fatalf("scfload: bad tenant weight %q", part)
+			}
+			w = parsed
+		} else {
+			name = part
+		}
+		tenants = append(tenants, name)
+		weights[name] = w
+	}
+	if len(tenants) == 0 {
+		log.Fatal("scfload: no tenants")
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	classes := sizeClasses()
+
+	log.Printf("scfload: %d clients, %d jobs, %d size classes, tenants %v", *clients, *jobs, len(classes), tenants)
+	workers := serverWorkers(base)
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		samples  []bench.ServeSample
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			c := &client{
+				http:    &http.Client{Timeout: 2 * time.Minute},
+				base:    base,
+				rng:     rng,
+				zipf:    rand.NewZipf(rng, *zipfS, 1, uint64(len(classes)-1)),
+				classes: classes,
+				tenants: tenants,
+				poll:    *poll,
+			}
+			for {
+				n := next.Add(1)
+				if n > int64(*jobs) {
+					return
+				}
+				sample, err := c.runOne(int(n))
+				if err != nil {
+					failures.Add(1)
+					log.Printf("scfload: job %d: %v", n, err)
+					continue
+				}
+				mu.Lock()
+				samples = append(samples, sample)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	duration := time.Since(start)
+
+	rep := bench.BuildServeReport(samples, *clients, workers, duration.Seconds(), weights)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("scfload: %v", err)
+	}
+	if err := bench.WriteServeReport(f, rep); err != nil {
+		log.Fatalf("scfload: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("scfload: %v", err)
+	}
+
+	log.Printf("scfload: %d jobs in %.1fs (%.1f jobs/s), %d completed, %d failed, %d transport errors, %d rejections absorbed",
+		rep.Jobs, rep.DurationSec, rep.JobsPerSec, rep.Completed, rep.Failed, failures.Load(), rep.Rejections)
+	log.Printf("scfload: latency p50=%.0fms p95=%.0fms p99=%.0fms max=%.0fms",
+		rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs)
+	log.Printf("scfload: Jain fairness over weight-normalized served work: %.4f", rep.JainFairness)
+	for _, t := range rep.Tenants {
+		log.Printf("scfload:   tenant %-8s w=%.0f jobs=%-4d served=%.3g share/w=%.3g p95=%.0fms",
+			t.Tenant, t.Weight, t.Jobs, t.ServedFlops, t.NormShare, t.Latency.P95Ms)
+	}
+	if rep.Failed > 0 || failures.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"execmodels/internal/stats"
+)
+
+// ServeSample is one finished (or abandoned) load-generator job as
+// recorded by cmd/scfload: identity, size class, and the client-observed
+// timings in seconds. Rejected counts resubmissions bounced by admission
+// control before the job was finally accepted (or given up on).
+type ServeSample struct {
+	Tenant     string  `json:"tenant"`
+	Molecule   string  `json:"molecule"`
+	Basis      string  `json:"basis"`
+	EstCost    float64 `json:"est_cost"` // admission cost units (NBF⁴)
+	SubmitSec  float64 `json:"submit_sec"`
+	LatencySec float64 `json:"latency_sec"` // submit → terminal state
+	Rejected   int     `json:"rejected"`
+	Converged  bool    `json:"converged"`
+	Failed     bool    `json:"failed"`
+}
+
+// ServeLatencySummary is a percentile digest of one latency population.
+type ServeLatencySummary struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ServeTenantRow is one tenant's slice of the load test.
+type ServeTenantRow struct {
+	Tenant      string  `json:"tenant"`
+	Weight      float64 `json:"weight"`
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	Rejections  int     `json:"rejections"` // 429 bounces absorbed by retry
+	ServedFlops float64 `json:"served_flops"`
+	// NormShare is ServedFlops/Weight — the quantity the fair queue
+	// equalizes across backlogged tenants and the input to the Jain index.
+	NormShare float64             `json:"normalized_share"`
+	Latency   ServeLatencySummary `json:"latency"`
+}
+
+// ServeBenchReport is the machine-readable output of the scfload run
+// (committed as BENCH_serve.json; regenerate with `make bench-serve`).
+type ServeBenchReport struct {
+	Clients     int     `json:"clients"`
+	Workers     int     `json:"server_workers"`
+	DurationSec float64 `json:"duration_sec"`
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	Rejections  int     `json:"rejections"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	FlopsPerSec float64 `json:"flops_per_sec"`
+	// JainFairness is Jain's index over per-tenant weight-normalized
+	// served work: 1 = perfectly fair, 1/n = one tenant took everything.
+	JainFairness float64             `json:"jain_fairness"`
+	Latency      ServeLatencySummary `json:"latency"`
+	SubmitLat    ServeLatencySummary `json:"submit_latency"`
+	Tenants      []ServeTenantRow    `json:"tenants"`
+	SizeClasses  []ServeSizeClassRow `json:"size_classes"`
+}
+
+// ServeSizeClassRow summarizes one (molecule, basis) job size class —
+// the heavy-tailed size distribution's footprint in the results.
+type ServeSizeClassRow struct {
+	Molecule string              `json:"molecule"`
+	Basis    string              `json:"basis"`
+	EstCost  float64             `json:"est_cost"`
+	Jobs     int                 `json:"jobs"`
+	Latency  ServeLatencySummary `json:"latency"`
+}
+
+func summarizeLatencies(secs []float64) ServeLatencySummary {
+	if len(secs) == 0 {
+		return ServeLatencySummary{}
+	}
+	var sum, max float64
+	for _, v := range secs {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	toMs := func(s float64) float64 { return s * 1e3 }
+	return ServeLatencySummary{
+		N:      len(secs),
+		MeanMs: toMs(sum / float64(len(secs))),
+		P50Ms:  toMs(stats.Percentile(secs, 50)),
+		P90Ms:  toMs(stats.Percentile(secs, 90)),
+		P95Ms:  toMs(stats.Percentile(secs, 95)),
+		P99Ms:  toMs(stats.Percentile(secs, 99)),
+		MaxMs:  toMs(max),
+	}
+}
+
+// BuildServeReport aggregates load-generator samples into the committed
+// report. durationSec is the wall time of the whole run as measured by
+// the load generator; weights are the tenant weights the server ran with
+// (absent tenants default to weight 1).
+func BuildServeReport(samples []ServeSample, clients, workers int, durationSec float64, weights map[string]float64) *ServeBenchReport {
+	rep := &ServeBenchReport{
+		Clients:     clients,
+		Workers:     workers,
+		DurationSec: durationSec,
+		Jobs:        len(samples),
+	}
+
+	// Tenant and size-class rows are keyed through sorted name lists so
+	// the report is byte-stable run to run.
+	tenantNames := make([]string, 0, 8)
+	classNames := make([]string, 0, 8)
+	byTenant := map[string][]int{}
+	byClass := map[string][]int{}
+	var allLat, allSubmit []float64
+	for i, s := range samples {
+		if _, seen := byTenant[s.Tenant]; !seen {
+			tenantNames = append(tenantNames, s.Tenant)
+		}
+		byTenant[s.Tenant] = append(byTenant[s.Tenant], i)
+		ck := s.Molecule + "|" + s.Basis
+		if _, seen := byClass[ck]; !seen {
+			classNames = append(classNames, ck)
+		}
+		byClass[ck] = append(byClass[ck], i)
+
+		rep.Rejections += s.Rejected
+		switch {
+		case s.Failed:
+			rep.Failed++
+		case s.Converged:
+			rep.Completed++
+			rep.FlopsPerSec += s.EstCost
+		}
+		allLat = append(allLat, s.LatencySec)
+		allSubmit = append(allSubmit, s.SubmitSec)
+	}
+	sort.Strings(tenantNames)
+	sort.Strings(classNames)
+	if durationSec > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / durationSec
+		rep.FlopsPerSec /= durationSec
+	} else {
+		rep.FlopsPerSec = 0
+	}
+	rep.Latency = summarizeLatencies(allLat)
+	rep.SubmitLat = summarizeLatencies(allSubmit)
+
+	shares := make([]float64, 0, len(tenantNames))
+	for _, name := range tenantNames {
+		row := ServeTenantRow{Tenant: name, Weight: 1}
+		if w, ok := weights[name]; ok && w > 0 {
+			row.Weight = w
+		}
+		var lats []float64
+		for _, i := range byTenant[name] {
+			s := samples[i]
+			row.Jobs++
+			row.Rejections += s.Rejected
+			switch {
+			case s.Failed:
+				row.Failed++
+			case s.Converged:
+				row.Completed++
+				row.ServedFlops += s.EstCost
+			}
+			lats = append(lats, s.LatencySec)
+		}
+		row.NormShare = row.ServedFlops / row.Weight
+		row.Latency = summarizeLatencies(lats)
+		shares = append(shares, row.NormShare)
+		rep.Tenants = append(rep.Tenants, row)
+	}
+	if len(shares) > 0 {
+		rep.JainFairness = stats.JainFairness(shares)
+	}
+
+	for _, ck := range classNames {
+		idx := byClass[ck]
+		s0 := samples[idx[0]]
+		row := ServeSizeClassRow{Molecule: s0.Molecule, Basis: s0.Basis, EstCost: s0.EstCost, Jobs: len(idx)}
+		var lats []float64
+		for _, i := range idx {
+			lats = append(lats, samples[i].LatencySec)
+		}
+		row.Latency = summarizeLatencies(lats)
+		rep.SizeClasses = append(rep.SizeClasses, row)
+	}
+	return rep
+}
+
+// WriteServeReport writes the report as indented JSON.
+func WriteServeReport(w io.Writer, rep *ServeBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("bench: serve report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression for a real bug: stats.Percentile takes p on a 0-100 scale,
+// and passing fractions (0.50 for p50) silently reports near-minimum
+// values. On a skewed population the digest must satisfy the ordering
+// min <= p50 <= p90 <= p99 <= max and put p50 near the true median.
+func TestSummarizeLatenciesPercentileScale(t *testing.T) {
+	// 99 cheap jobs at 0.1s, one straggler at 1000s: the median is 0.1s
+	// but the mean (~10.1s) is dominated by the tail. The fraction-scale
+	// bug reported p99 == min here.
+	secs := make([]float64, 0, 100)
+	for i := 0; i < 99; i++ {
+		secs = append(secs, 0.1)
+	}
+	secs = append(secs, 1000)
+
+	s := summarizeLatencies(secs)
+	if s.N != 100 {
+		t.Fatalf("N = %d, want 100", s.N)
+	}
+	if math.Abs(s.P50Ms-100) > 1e-9 {
+		t.Errorf("p50 = %vms, want 100ms", s.P50Ms)
+	}
+	if s.MaxMs != 1000*1e3 {
+		t.Errorf("max = %vms, want 1e6ms", s.MaxMs)
+	}
+	// p99 interpolates between the 99th and 100th order statistics and
+	// must feel the straggler; the fraction-scale bug left it at 100ms.
+	if s.P99Ms <= s.P90Ms || s.P99Ms <= 100 {
+		t.Errorf("p99 = %vms does not reflect the tail (p90 = %vms)", s.P99Ms, s.P90Ms)
+	}
+	if !(s.P50Ms <= s.P90Ms && s.P90Ms <= s.P95Ms && s.P95Ms <= s.P99Ms && s.P99Ms <= s.MaxMs) {
+		t.Errorf("percentiles not monotone: p50=%v p90=%v p95=%v p99=%v max=%v",
+			s.P50Ms, s.P90Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+	}
+	// Mean must sit between median and max on this skewed population —
+	// a digest whose mean wildly exceeds its p99 band is self-contradictory.
+	wantMean := (99*0.1 + 1000) / 100 * 1e3
+	if math.Abs(s.MeanMs-wantMean) > 1e-6 {
+		t.Errorf("mean = %vms, want %vms", s.MeanMs, wantMean)
+	}
+}
+
+func TestBuildServeReportAggregates(t *testing.T) {
+	samples := []ServeSample{
+		{Tenant: "a", Molecule: "water", Basis: "sto-3g", EstCost: 100, SubmitSec: 0.01, LatencySec: 1, Converged: true},
+		{Tenant: "a", Molecule: "water", Basis: "sto-3g", EstCost: 100, SubmitSec: 0.01, LatencySec: 2, Converged: true, Rejected: 3},
+		{Tenant: "b", Molecule: "waters:2", Basis: "sto-3g", EstCost: 400, SubmitSec: 0.01, LatencySec: 4, Converged: true},
+		{Tenant: "b", Molecule: "waters:2", Basis: "sto-3g", EstCost: 400, SubmitSec: 0.01, LatencySec: 8, Failed: true},
+	}
+	rep := BuildServeReport(samples, 4, 2, 10, map[string]float64{"a": 2, "b": 1})
+
+	if rep.Jobs != 4 || rep.Completed != 3 || rep.Failed != 1 || rep.Rejections != 3 {
+		t.Fatalf("counts: jobs=%d completed=%d failed=%d rejections=%d",
+			rep.Jobs, rep.Completed, rep.Failed, rep.Rejections)
+	}
+	if len(rep.Tenants) != 2 || rep.Tenants[0].Tenant != "a" || rep.Tenants[1].Tenant != "b" {
+		t.Fatalf("tenant rows not sorted by name: %+v", rep.Tenants)
+	}
+	a, b := rep.Tenants[0], rep.Tenants[1]
+	// Served flops only count converged jobs; failed ones don't earn share.
+	if a.ServedFlops != 200 || b.ServedFlops != 400 {
+		t.Errorf("served flops a=%v b=%v, want 200/400", a.ServedFlops, b.ServedFlops)
+	}
+	if math.Abs(a.NormShare-100) > 1e-9 || math.Abs(b.NormShare-400) > 1e-9 {
+		t.Errorf("normalized shares a=%v b=%v, want 100/400", a.NormShare, b.NormShare)
+	}
+	// Jain over shares {100, 400}: (500)^2 / (2 * 170000) = 0.7352...
+	wantJain := 500.0 * 500.0 / (2 * (100*100 + 400*400))
+	if math.Abs(rep.JainFairness-wantJain) > 1e-9 {
+		t.Errorf("jain = %v, want %v", rep.JainFairness, wantJain)
+	}
+	if rep.Latency.N != 4 || rep.Latency.MaxMs != 8000 {
+		t.Errorf("latency digest: %+v", rep.Latency)
+	}
+}

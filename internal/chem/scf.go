@@ -1,6 +1,7 @@
 package chem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -27,7 +28,49 @@ type SCFOptions struct {
 	// densities — each atom's electrons spread evenly over its own
 	// functions, usually fewer iterations on clusters).
 	Guess string
+
+	// OnIteration, if non-nil, is invoked after every completed SCF
+	// iteration with that iteration's state. Returning a non-nil error
+	// interrupts the run: RunSCF stops immediately and returns the
+	// partial result together with an error wrapping ErrSCFInterrupted
+	// and the callback's error. Long-running drivers use this hook to
+	// stream progress and to checkpoint resumable state.
+	OnIteration func(p SCFProgress) error
+
+	// Resume, if non-nil, restarts a run from a previously checkpointed
+	// iteration instead of a fresh guess: the density and energy must be
+	// the ones reported by OnIteration for Resume.Iteration. Iteration
+	// numbering continues from there (MaxIter counts total iterations,
+	// including the checkpointed ones). DIIS history is not part of the
+	// checkpoint — the subspace is rebuilt from scratch after a resume,
+	// so the post-restart trajectory may differ from the uninterrupted
+	// one, but both converge to the same fixed point.
+	Resume *SCFRestart
 }
+
+// SCFProgress is the state of one completed SCF iteration, as delivered
+// to SCFOptions.OnIteration. D is the density that enters the next
+// iteration; together with Iter and Energy it is exactly the state a
+// checkpoint needs for SCFOptions.Resume.
+type SCFProgress struct {
+	Iter   int
+	Energy float64 // total energy (electronic + nuclear) after this iteration
+	DeltaE float64 // |energy change| vs the previous iteration
+	RMSD   float64 // RMS density change vs the previous iteration
+	D      *linalg.Matrix
+}
+
+// SCFRestart is the checkpointed state RunSCF resumes from.
+type SCFRestart struct {
+	Iteration int            // last completed iteration
+	Energy    float64        // total energy after that iteration
+	D         *linalg.Matrix // density entering iteration Iteration+1
+}
+
+// ErrSCFInterrupted is wrapped by RunSCF's error when an OnIteration
+// callback aborts the run. The returned *SCFResult still holds the last
+// completed iteration's state.
+var ErrSCFInterrupted = errors.New("chem: SCF run interrupted")
 
 func (o *SCFOptions) setDefaults() {
 	if o.MaxIter == 0 {
@@ -93,22 +136,36 @@ func RunSCF(mol *Molecule, bs *BasisSet, opts SCFOptions, build FockBuilder) (*S
 	enuc := mol.NuclearRepulsion()
 
 	var d *linalg.Matrix
-	switch opts.Guess {
-	case "", "core":
-		d, _, _ = densityFromFock(h, x, nocc)
-	case "sad":
-		d = sadGuess(bs, mol)
-	default:
-		return nil, fmt.Errorf("chem: unknown guess %q (core|sad)", opts.Guess)
+	startIter := 1
+	var ePrev float64
+	if opts.Resume != nil {
+		if opts.Resume.D == nil || opts.Resume.D.Rows != bs.NBF || opts.Resume.D.Cols != bs.NBF {
+			return nil, fmt.Errorf("chem: resume density shape does not match %d basis functions", bs.NBF)
+		}
+		if opts.Resume.Iteration < 1 {
+			return nil, fmt.Errorf("chem: resume iteration %d < 1", opts.Resume.Iteration)
+		}
+		d = opts.Resume.D.Clone()
+		ePrev = opts.Resume.Energy
+		startIter = opts.Resume.Iteration + 1
+	} else {
+		switch opts.Guess {
+		case "", "core":
+			d, _, _ = densityFromFock(h, x, nocc)
+		case "sad":
+			d = sadGuess(bs, mol)
+		default:
+			return nil, fmt.Errorf("chem: unknown guess %q (core|sad)", opts.Guess)
+		}
 	}
 
 	res := &SCFResult{Nuclear: enuc, Workload: w, NOcc: nocc}
+	res.Iterations = startIter - 1
 	var diis *diisState
 	if opts.UseDIIS {
 		diis = newDIIS(opts.DIISVectors)
 	}
-	var ePrev float64
-	for iter := 1; iter <= opts.MaxIter; iter++ {
+	for iter := startIter; iter <= opts.MaxIter; iter++ {
 		f := build(w, h, d)
 		eElec := electronicEnergy(d, h, f)
 
@@ -137,6 +194,13 @@ func RunSCF(mol *Molecule, bs *BasisSet, opts SCFOptions, build FockBuilder) (*S
 		res.D = dNew
 		d = dNew
 
+		if opts.OnIteration != nil {
+			if err := opts.OnIteration(SCFProgress{
+				Iter: iter, Energy: ePrev, DeltaE: dE, RMSD: rms, D: dNew,
+			}); err != nil {
+				return res, fmt.Errorf("%w after iteration %d: %w", ErrSCFInterrupted, iter, err)
+			}
+		}
 		if iter > 1 && rms < opts.ConvDensity && dE < opts.ConvEnergy {
 			res.Converged = true
 			break

@@ -1,0 +1,152 @@
+package chem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"execmodels/internal/linalg"
+)
+
+// tightOpts are convergence thresholds well below the 1e-10 agreement the
+// resume contract promises, so both trajectories reach the same fixed
+// point to the asserted precision.
+func tightOpts() SCFOptions {
+	return SCFOptions{
+		MaxIter:     100,
+		ConvDensity: 1e-10,
+		ConvEnergy:  1e-12,
+		UseDIIS:     true,
+	}
+}
+
+// TestSCFResumeMatchesUninterrupted is the checkpoint round-trip
+// regression test: interrupt a run mid-SCF via OnIteration, restart a
+// fresh run from the captured (iteration, energy, density) state, and
+// require the resumed run to converge to the uninterrupted run's energy
+// within 1e-10 hartree.
+func TestSCFResumeMatchesUninterrupted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mol  *Molecule
+	}{
+		{"water", Water()},
+		{"waters2", WaterCluster(2, 7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bs, err := NewBasis("sto-3g", tc.mol)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			full, err := RunSCF(tc.mol, bs, tightOpts(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !full.Converged {
+				t.Fatalf("uninterrupted run did not converge in %d iterations", full.Iterations)
+			}
+
+			// Interrupt after the 2nd iteration, exactly the way a killed
+			// server would: the last OnIteration state is the checkpoint.
+			const stopAfter = 2
+			var ckpt SCFProgress
+			interrupted := errors.New("simulated kill")
+			opts := tightOpts()
+			opts.OnIteration = func(p SCFProgress) error {
+				ckpt = SCFProgress{Iter: p.Iter, Energy: p.Energy, D: p.D.Clone()}
+				if p.Iter >= stopAfter {
+					return interrupted
+				}
+				return nil
+			}
+			partial, err := RunSCF(tc.mol, bs, opts, nil)
+			if !errors.Is(err, ErrSCFInterrupted) {
+				t.Fatalf("interrupted run: err = %v, want ErrSCFInterrupted", err)
+			}
+			if !errors.Is(err, interrupted) {
+				t.Fatalf("interrupted run: err = %v does not wrap the callback error", err)
+			}
+			if partial == nil || partial.Iterations != stopAfter {
+				t.Fatalf("partial result has %d iterations, want %d", partial.Iterations, stopAfter)
+			}
+			if ckpt.Iter != stopAfter {
+				t.Fatalf("checkpoint captured iteration %d, want %d", ckpt.Iter, stopAfter)
+			}
+
+			resumeOpts := tightOpts()
+			resumeOpts.Resume = &SCFRestart{Iteration: ckpt.Iter, Energy: ckpt.Energy, D: ckpt.D}
+			resumed, err := RunSCF(tc.mol, bs, resumeOpts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resumed.Converged {
+				t.Fatalf("resumed run did not converge in %d iterations", resumed.Iterations)
+			}
+			if resumed.Iterations <= stopAfter {
+				t.Fatalf("resumed run reports %d iterations, want > %d (numbering continues)", resumed.Iterations, stopAfter)
+			}
+			if diff := math.Abs(resumed.Energy - full.Energy); diff > 1e-10 {
+				t.Errorf("resumed energy %.12f vs uninterrupted %.12f: |diff| = %.3g > 1e-10",
+					resumed.Energy, full.Energy, diff)
+			}
+		})
+	}
+}
+
+// TestSCFResumeValidation rejects malformed restart states up front.
+func TestSCFResumeValidation(t *testing.T) {
+	mol := Water()
+	bs, err := NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(r *SCFRestart) error {
+		opts := tightOpts()
+		opts.Resume = r
+		_, err := RunSCF(mol, bs, opts, nil)
+		return err
+	}
+	if err := run(&SCFRestart{Iteration: 1, D: nil}); err == nil {
+		t.Error("nil resume density accepted")
+	}
+	bad := linalg.NewMatrix(bs.NBF, bs.NBF)
+	if err := run(&SCFRestart{Iteration: 0, D: bad}); err == nil {
+		t.Error("resume iteration 0 accepted")
+	}
+	if err := run(&SCFRestart{Iteration: 1, D: linalg.NewMatrix(2, 2)}); err == nil {
+		t.Error("mis-shaped resume density accepted")
+	}
+}
+
+// OnIteration progress must report monotonically numbered iterations and
+// hand out the density that the next iteration consumes.
+func TestSCFOnIterationSequence(t *testing.T) {
+	mol := Water()
+	bs, err := NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	opts := tightOpts()
+	opts.OnIteration = func(p SCFProgress) error {
+		iters = append(iters, p.Iter)
+		if p.D == nil {
+			return fmt.Errorf("nil density at iteration %d", p.Iter)
+		}
+		return nil
+	}
+	res, err := RunSCF(mol, bs, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("callback fired %d times for %d iterations", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("iteration sequence %v not 1..n", iters)
+		}
+	}
+}

@@ -41,6 +41,10 @@ func NewDeterminism() *Determinism {
 			"internal/hypergraph",
 			"internal/semimatching",
 			"internal/obs",
+			// The serving layer legitimately runs on the real clock, but
+			// every wall-clock read must flow through serve's single
+			// suppressed now() helper so the boundary stays auditable.
+			"internal/serve",
 		},
 		AllowTimeFuncs: map[string]bool{
 			"startStopwatch": true, // internal/core stopwatch constructor
@@ -116,8 +120,8 @@ func (d *Determinism) Run(pkg *Package) []Finding {
 				switch {
 				case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[fn]:
 					out = append(out, Finding{
-						Pos:   pkg.Fset.Position(n.Pos()),
-						Check: d.Name(),
+						Pos:     pkg.Fset.Position(n.Pos()),
+						Check:   d.Name(),
 						Message: fmt.Sprintf("global rand.%s draws from the shared process-wide source; plumb a seeded *rand.Rand so runs replay from a seed", fn),
 					})
 				case path == "time" && wallClockFuncs[fn]:
@@ -125,8 +129,8 @@ func (d *Determinism) Run(pkg *Package) []Finding {
 						return true
 					}
 					out = append(out, Finding{
-						Pos:   pkg.Fset.Position(n.Pos()),
-						Check: d.Name(),
+						Pos:     pkg.Fset.Position(n.Pos()),
+						Check:   d.Name(),
 						Message: fmt.Sprintf("bare time.%s in a simulation package; route timing through the allowlisted stopwatch wrapper", fn),
 					})
 				}

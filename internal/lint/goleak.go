@@ -21,9 +21,10 @@ type Goleak struct {
 }
 
 // NewGoleak returns the check scoped to the packages that spawn
-// goroutines on behalf of the executors.
+// goroutines on behalf of the executors, plus the serving layer whose
+// worker pool must drain cleanly on shutdown.
 func NewGoleak() *Goleak {
-	return &Goleak{Packages: []string{"internal/core", "internal/mp"}}
+	return &Goleak{Packages: []string{"internal/core", "internal/mp", "internal/serve"}}
 }
 
 func (g *Goleak) Name() string { return "goleak" }

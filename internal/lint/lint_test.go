@@ -29,7 +29,7 @@ func loadFixture(t *testing.T, name string) *Package {
 
 var wantRe = regexp.MustCompile("want\\s+((`[^`]*`\\s*)+)")
 
-// parseWants extracts `// want `pattern`` expectations: file → line →
+// parseWants extracts `// want `pattern“ expectations: file → line →
 // regexes that must each match at least one finding on that line.
 func parseWants(pkg *Package) map[string]map[int][]*regexp.Regexp {
 	wants := map[string]map[int][]*regexp.Regexp{}
@@ -143,8 +143,11 @@ func TestAppliesTo(t *testing.T) {
 	}{
 		{NewDeterminism(), "execmodels/internal/core", true},
 		{NewDeterminism(), "execmodels/internal/deque", true},
+		{NewDeterminism(), "execmodels/internal/serve", true},
 		{NewDeterminism(), "execmodels/internal/chem", false},
 		{NewDeterminism(), "execmodels/internal/corelib", false},
+		{NewGoleak(), "execmodels/internal/serve", true},
+		{NewGoleak(), "execmodels/internal/chem", false},
 		{NewFloatEq(), "execmodels/internal/chem", true},
 		{NewFloatEq(), "execmodels/internal/linalg", true},
 		{NewFloatEq(), "execmodels/internal/core", false},

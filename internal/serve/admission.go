@@ -1,0 +1,47 @@
+package serve
+
+import "math"
+
+// Admission is the server's open-loop back-pressure policy: a job is
+// admitted only while both the queue depth and the estimated queued
+// work stay under their bounds. Rejections carry a Retry-After hint
+// derived from the measured drain rate, so well-behaved clients back
+// off proportionally to the actual backlog instead of hammering.
+type Admission struct {
+	// MaxDepth bounds the number of queued jobs (0 disables the bound).
+	MaxDepth int
+	// MaxQueuedFlops bounds the summed cost estimate of queued jobs, in
+	// the same NBF⁴ units as JobSpec.EstimateCost (0 disables).
+	MaxQueuedFlops float64
+}
+
+// Retry-After clamps: never ask a client to come back sooner than 1 s or
+// later than 60 s, whatever the backlog estimate says.
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 60
+)
+
+// Admit decides whether a job with estimated cost jobFlops may join a
+// queue currently at (depth, queuedFlops). drainRate is the server's
+// measured service rate in cost units per second (<= 0 when unknown).
+// When rejected, retryAfter is the whole-second Retry-After hint.
+func (a Admission) Admit(depth int, queuedFlops, jobFlops, drainRate float64) (retryAfter int, ok bool) {
+	overDepth := a.MaxDepth > 0 && depth >= a.MaxDepth
+	overFlops := a.MaxQueuedFlops > 0 && queuedFlops+jobFlops > a.MaxQueuedFlops
+	if !overDepth && !overFlops {
+		return 0, true
+	}
+	retry := float64(minRetryAfter)
+	if drainRate > 0 {
+		// Time to drain enough backlog for this job to fit.
+		retry = math.Ceil((queuedFlops + jobFlops) / drainRate)
+	}
+	if retry < minRetryAfter {
+		retry = minRetryAfter
+	}
+	if retry > maxRetryAfter {
+		retry = maxRetryAfter
+	}
+	return int(retry), false
+}

@@ -1,0 +1,43 @@
+package serve
+
+import "testing"
+
+func TestAdmissionBounds(t *testing.T) {
+	a := Admission{MaxDepth: 4, MaxQueuedFlops: 1000}
+
+	if _, ok := a.Admit(3, 500, 400, 100); !ok {
+		t.Error("rejected a job within both bounds")
+	}
+	if _, ok := a.Admit(4, 0, 1, 100); ok {
+		t.Error("admitted past the depth bound")
+	}
+	if _, ok := a.Admit(0, 900, 200, 100); ok {
+		t.Error("admitted past the flops bound")
+	}
+	// Disabled bounds admit everything.
+	open := Admission{}
+	if _, ok := open.Admit(1<<20, 1e18, 1e18, 0); !ok {
+		t.Error("unbounded admission rejected")
+	}
+}
+
+func TestAdmissionRetryAfter(t *testing.T) {
+	a := Admission{MaxDepth: 1}
+
+	// backlog 500 + job 100 at 100 units/s → 6 s.
+	if retry, ok := a.Admit(1, 500, 100, 100); ok || retry != 6 {
+		t.Errorf("Admit = (%d, %v), want (6, false)", retry, ok)
+	}
+	// Unknown drain rate → minimum hint.
+	if retry, _ := a.Admit(1, 500, 100, 0); retry != 1 {
+		t.Errorf("retry with unknown rate = %d, want 1", retry)
+	}
+	// Tiny backlog → clamped up to 1.
+	if retry, _ := a.Admit(1, 1, 1, 1e9); retry != 1 {
+		t.Errorf("retry clamped low = %d, want 1", retry)
+	}
+	// Enormous backlog → clamped down to 60.
+	if retry, _ := a.Admit(1, 1e12, 1, 1); retry != 60 {
+		t.Errorf("retry clamped high = %d, want 60", retry)
+	}
+}

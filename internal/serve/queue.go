@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// FairQueue is the server's priority job queue with weighted per-tenant
+// fairness. Scheduling is start-time fair queuing over estimated job
+// cost: each tenant owns a virtual finish time advanced by
+// cost/weight whenever one of its jobs is served, and Pop always serves
+// the most-lagging tenant (smallest virtual time), so a tenant flooding
+// the queue only stretches its own backlog — no tenant starves. Within
+// a tenant, higher Priority runs first, FIFO among equals.
+//
+// Pop blocks until a job or Close; the wakeup path is a 1-buffered
+// channel so worker goroutines always hold a statically visible
+// completion edge (the goleak check relies on it).
+type FairQueue struct {
+	mu      sync.Mutex
+	notify  chan struct{}           // wakeup token; sends/close only under mu
+	tenants map[string]*tenantQueue // guarded by mu
+	order   []*tenantQueue          // guarded by mu; creation order, for deterministic scans
+	weights map[string]float64      // guarded by mu; configured weights, default 1
+	vtime   float64                 // guarded by mu; global virtual time
+	depth   int                     // guarded by mu; queued job count
+	flops   float64                 // guarded by mu; summed estimated cost of queued jobs
+	closed  bool                    // guarded by mu
+	seq     int64                   // guarded by mu; FIFO tie-breaker
+}
+
+// tenantQueue is one tenant's backlog plus its fair-queuing state.
+type tenantQueue struct {
+	name   string
+	weight float64
+	vfin   float64 // virtual time at which the tenant's served work finishes
+	jobs   jobHeap
+}
+
+// NewFairQueue creates an empty queue. weights maps tenant names to
+// relative service shares; unlisted tenants get weight 1.
+func NewFairQueue(weights map[string]float64) *FairQueue {
+	q := &FairQueue{
+		notify:  make(chan struct{}, 1),
+		tenants: map[string]*tenantQueue{},
+		weights: map[string]float64{},
+	}
+	for t, w := range weights {
+		if w > 0 {
+			q.weights[t] = w
+		}
+	}
+	return q
+}
+
+// Push enqueues a job for its tenant. It returns false when the queue is
+// closed.
+func (q *FairQueue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	tq := q.tenants[j.Tenant()]
+	if tq == nil {
+		w := q.weights[j.Tenant()]
+		if w <= 0 {
+			w = 1
+		}
+		tq = &tenantQueue{name: j.Tenant(), weight: w, vfin: q.vtime}
+		q.tenants[j.Tenant()] = tq
+		q.order = append(q.order, tq)
+	}
+	q.seq++
+	j.fifoSeq = q.seq
+	heap.Push(&tq.jobs, j)
+	q.depth++
+	q.flops += j.EstCost
+	q.signalLocked()
+	return true
+}
+
+// Pop blocks until a job is available and returns it, or returns false
+// after Close once the queue has drained.
+func (q *FairQueue) Pop() (*Job, bool) {
+	for {
+		j, closed := q.tryPop()
+		if j != nil {
+			return j, true
+		}
+		if closed {
+			return nil, false
+		}
+		// Wait for a push or for Close; after close(notify) this receive
+		// never blocks, so every waiter re-checks and drains out.
+		<-q.notify
+	}
+}
+
+// tryPop takes one scheduling decision under the lock.
+func (q *FairQueue) tryPop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked(), q.closed
+}
+
+// popLocked serves one job from the most-lagging non-empty tenant.
+// Called with mu held.
+func (q *FairQueue) popLocked() *Job {
+	var pick *tenantQueue
+	for _, tq := range q.order {
+		if tq.jobs.Len() == 0 {
+			continue
+		}
+		if pick == nil || tq.vfin < pick.vfin || (tq.vfin == pick.vfin && tq.name < pick.name) {
+			pick = tq
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	j := heap.Pop(&pick.jobs).(*Job)
+	// An idle tenant's virtual time restarts at the global clock so a
+	// long-quiet tenant cannot bank unbounded credit.
+	start := pick.vfin
+	if start < q.vtime {
+		start = q.vtime
+	}
+	pick.vfin = start + j.EstCost/pick.weight
+	q.vtime = start
+	q.depth--
+	q.flops -= j.EstCost
+	if q.depth > 0 {
+		// Cascade the wakeup: this Pop may have consumed the only token
+		// while more jobs remain and more workers sleep.
+		q.signalLocked()
+	}
+	return j
+}
+
+// signalLocked wakes one blocked Pop. Called with mu held, so it can
+// never race Close's close(notify).
+func (q *FairQueue) signalLocked() {
+	if q.closed {
+		return
+	}
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the queue: Push rejects, blocked and future Pops drain the
+// remaining backlog and then return false.
+func (q *FairQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.notify)
+}
+
+// Depth returns the number of queued jobs.
+func (q *FairQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// QueuedFlops returns the summed estimated cost of all queued jobs.
+func (q *FairQueue) QueuedFlops() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.flops
+}
+
+// jobHeap orders a tenant's jobs by descending priority, FIFO within a
+// priority level.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].fifoSeq < h[j].fifoSeq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(*Job)) }
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

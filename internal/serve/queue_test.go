@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testJob(tenant string, priority int, cost float64) *Job {
+	return newJob(
+		fmt.Sprintf("%s-p%d", tenant, priority),
+		&JobSpec{Tenant: tenant, Priority: priority, Molecule: "water", Basis: "sto-3g"},
+		cost, 7,
+	)
+}
+
+func popTenants(t *testing.T, q *FairQueue, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: queue closed early", i)
+		}
+		out = append(out, j.Tenant())
+	}
+	return out
+}
+
+func TestFairQueueInterleavesEqualWeights(t *testing.T) {
+	q := NewFairQueue(nil)
+	for i := 0; i < 8; i++ {
+		q.Push(testJob("alice", 0, 100))
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(testJob("bob", 0, 100))
+	}
+	got := popTenants(t, q, 12)
+	// While both tenants have backlog, service must alternate; afterwards
+	// alice drains alone.
+	want := []string{"alice", "bob", "alice", "bob", "alice", "bob", "alice", "bob",
+		"alice", "alice", "alice", "alice"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFairQueueRespectsWeights(t *testing.T) {
+	q := NewFairQueue(map[string]float64{"heavy": 2, "light": 1})
+	for i := 0; i < 9; i++ {
+		q.Push(testJob("heavy", 0, 60))
+		q.Push(testJob("light", 0, 60))
+	}
+	got := popTenants(t, q, 9)
+	heavy := 0
+	for _, tn := range got {
+		if tn == "heavy" {
+			heavy++
+		}
+	}
+	// Weight 2:1 → heavy should take ~2/3 of the first 9 slots.
+	if heavy < 5 || heavy > 7 {
+		t.Fatalf("heavy tenant got %d of 9 slots, want ~6 (sequence %v)", heavy, got)
+	}
+}
+
+func TestFairQueueNoStarvation(t *testing.T) {
+	q := NewFairQueue(nil)
+	for i := 0; i < 100; i++ {
+		q.Push(testJob("flood", 0, 50))
+	}
+	q.Push(testJob("small", 0, 50))
+	// The late small tenant starts at the current virtual time, so it must
+	// be served within the first two pops, not after the flood drains.
+	got := popTenants(t, q, 2)
+	if got[0] != "small" && got[1] != "small" {
+		t.Fatalf("small tenant starved: first pops were %v", got)
+	}
+}
+
+func TestFairQueuePriorityWithinTenant(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(testJob("a", 0, 10))
+	q.Push(testJob("a", 9, 10))
+	q.Push(testJob("a", 5, 10))
+	first := testJob("a", 5, 10)
+	first.ID = "first-of-equals"
+	q.Push(first) // same priority as the earlier 5: FIFO between them
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Pop()
+		ids = append(ids, fmt.Sprintf("p%d:%s", j.Spec.Priority, j.ID))
+	}
+	want := []string{"p9:a-p9", "p5:a-p5", "p5:first-of-equals", "p0:a-p0"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFairQueueDepthAndFlops(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(testJob("a", 0, 100))
+	q.Push(testJob("b", 0, 50))
+	if d, f := q.Depth(), q.QueuedFlops(); d != 2 || f != 150 {
+		t.Fatalf("depth=%d flops=%g, want 2/150", d, f)
+	}
+	q.Pop()
+	if d, f := q.Depth(), q.QueuedFlops(); d != 1 || f != 50 {
+		t.Fatalf("after pop: depth=%d flops=%g, want 1/50", d, f)
+	}
+}
+
+func TestFairQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewFairQueue(nil)
+	got := make(chan string, 1)
+	go func() {
+		j, ok := q.Pop()
+		if !ok {
+			got <- "<closed>"
+			return
+		}
+		got <- j.Tenant()
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Pop park
+	q.Push(testJob("late", 0, 1))
+	select {
+	case tn := <-got:
+		if tn != "late" {
+			t.Fatalf("got %q", tn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop never woke after Push")
+	}
+}
+
+func TestFairQueueCloseDrainsBacklogThenStops(t *testing.T) {
+	q := NewFairQueue(nil)
+	q.Push(testJob("a", 0, 1))
+	q.Push(testJob("a", 0, 1))
+	q.Close()
+	if q.Push(testJob("a", 0, 1)) {
+		t.Fatal("Push accepted after Close")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("Pop %d: backlog lost on Close", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned a job from an empty closed queue")
+	}
+}
+
+// TestFairQueueConcurrentStress drives many producers and consumers at
+// once: every pushed job must be popped exactly once and every consumer
+// must terminate after Close (no lost wakeups, no send-on-closed panic).
+func TestFairQueueConcurrentStress(t *testing.T) {
+	const producers, perProducer, consumers = 8, 50, 4
+	q := NewFairQueue(map[string]float64{"t0": 3, "t1": 1})
+
+	var pushed sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pushed.Add(1)
+		go func(p int) {
+			defer pushed.Done()
+			tenant := fmt.Sprintf("t%d", p%3)
+			for i := 0; i < perProducer; i++ {
+				q.Push(testJob(tenant, i%10, float64(1+i%7)))
+			}
+		}(p)
+	}
+
+	counts := make(chan int, consumers)
+	var drained sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		drained.Add(1)
+		go func() {
+			defer drained.Done()
+			n := 0
+			for {
+				if _, ok := q.Pop(); !ok {
+					counts <- n
+					return
+				}
+				n++
+			}
+		}()
+	}
+
+	pushed.Wait()
+	q.Close()
+	drained.Wait()
+	close(counts)
+	total := 0
+	for n := range counts {
+		total += n
+	}
+	if total != producers*perProducer {
+		t.Fatalf("popped %d jobs, want %d", total, producers*perProducer)
+	}
+}

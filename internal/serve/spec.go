@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"execmodels/internal/chem"
+)
+
+// Spec limits: the decoder enforces these before any chemistry runs, so
+// a hostile tenant cannot submit a job whose mere validation is
+// expensive.
+const (
+	MaxSpecBytes     = 1 << 20 // request-body cap enforced by the server
+	MaxPriority      = 9
+	MaxInlineAtoms   = 256 // inline geometries
+	MaxGeneratedSize = 64  // N in waters:N / alkane:N
+	MaxTenantLen     = 64
+	maxMaxIter       = 500
+	// minAtomSeparation rejects (near-)coincident nuclei, whose 1/r
+	// nuclear repulsion would poison every downstream energy with Inf.
+	minAtomSeparation = 1e-3 // bohr
+)
+
+// AtomSpec is one atom of an inline geometry, in bohr.
+type AtomSpec struct {
+	Element string  `json:"element"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Z       float64 `json:"z"`
+}
+
+// JobSpec is the wire format of one SCF job submission. Exactly one of
+// Molecule (a library spec: water | h2 | waters:N | alkane:N) or
+// Geometry (inline atoms) selects the system.
+type JobSpec struct {
+	Tenant   string     `json:"tenant"`
+	Priority int        `json:"priority,omitempty"` // 0..9; higher runs first within the tenant
+	Molecule string     `json:"molecule,omitempty"`
+	Geometry []AtomSpec `json:"geometry,omitempty"`
+	Basis    string     `json:"basis"`
+	Charge   int        `json:"charge,omitempty"`
+	MaxIter  int        `json:"maxIter,omitempty"` // 0 = server default
+	Seed     int64      `json:"seed,omitempty"`    // geometry seed for generated molecules
+}
+
+// DecodeJobSpec parses and validates an untrusted job-spec document.
+// Unknown fields are rejected so a typo'd option fails loudly instead of
+// silently running with defaults. The returned spec passed Validate.
+func DecodeJobSpec(data []byte) (*JobSpec, error) {
+	if len(data) > MaxSpecBytes {
+		return nil, fmt.Errorf("serve: job spec is %d bytes (cap %d)", len(data), MaxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("serve: bad job spec JSON: %w", err)
+	}
+	// A second document in the body is a smuggling attempt, not a spec.
+	if dec.More() {
+		return nil, fmt.Errorf("serve: trailing data after job spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Validate checks every field against the serving limits without
+// building any chemistry. BuildMolecule performs the (still cheap)
+// molecule construction and re-validates geometry-level invariants.
+func (s *JobSpec) Validate() error {
+	if err := validateTenant(s.Tenant); err != nil {
+		return err
+	}
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return fmt.Errorf("serve: priority %d out of range 0..%d", s.Priority, MaxPriority)
+	}
+	if (s.Molecule == "") == (len(s.Geometry) == 0) {
+		return fmt.Errorf("serve: exactly one of molecule or geometry must be set")
+	}
+	if s.Molecule != "" {
+		if _, _, err := parseMoleculeSpec(s.Molecule); err != nil {
+			return err
+		}
+	}
+	if len(s.Geometry) > MaxInlineAtoms {
+		return fmt.Errorf("serve: %d inline atoms (cap %d)", len(s.Geometry), MaxInlineAtoms)
+	}
+	for i, a := range s.Geometry {
+		if chem.AtomicNumber(a.Element) == 0 {
+			return fmt.Errorf("serve: geometry[%d]: unsupported element %q", i, a.Element)
+		}
+		for _, v := range [...]float64{a.X, a.Y, a.Z} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("serve: geometry[%d]: non-finite coordinate", i)
+			}
+			if math.Abs(v) > 1e4 {
+				return fmt.Errorf("serve: geometry[%d]: coordinate %g out of range", i, v)
+			}
+		}
+	}
+	switch s.Basis {
+	case "sto-3g", "6-31g", "6-31g*":
+	default:
+		return fmt.Errorf("serve: unknown basis %q (sto-3g|6-31g|6-31g*)", s.Basis)
+	}
+	if s.MaxIter < 0 || s.MaxIter > maxMaxIter {
+		return fmt.Errorf("serve: maxIter %d out of range 0..%d", s.MaxIter, maxMaxIter)
+	}
+	if s.Charge < -64 || s.Charge > 64 {
+		return fmt.Errorf("serve: charge %d out of range", s.Charge)
+	}
+	return nil
+}
+
+// validateTenant enforces the tenant-name vocabulary: short, non-empty,
+// and safe to embed in metric labels and spool-directory names.
+func validateTenant(t string) error {
+	if t == "" {
+		return fmt.Errorf("serve: tenant is required")
+	}
+	if len(t) > MaxTenantLen {
+		return fmt.Errorf("serve: tenant name longer than %d bytes", MaxTenantLen)
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("serve: tenant name contains %q (allowed: [A-Za-z0-9_-])", c)
+		}
+	}
+	return nil
+}
+
+// parseMoleculeSpec splits and bounds a library molecule spec.
+func parseMoleculeSpec(spec string) (name string, n int, err error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "water", "h2":
+		if hasArg {
+			return "", 0, fmt.Errorf("serve: molecule %q takes no argument", name)
+		}
+		return name, 0, nil
+	case "waters", "alkane":
+		if !hasArg {
+			return "", 0, fmt.Errorf("serve: molecule %q needs a count, e.g. %s:4", name, name)
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 || n > MaxGeneratedSize {
+			return "", 0, fmt.Errorf("serve: bad %s count %q (1..%d)", name, arg, MaxGeneratedSize)
+		}
+		return name, n, nil
+	default:
+		return "", 0, fmt.Errorf("serve: unknown molecule %q (water|h2|waters:N|alkane:N)", name)
+	}
+}
+
+// BuildMolecule constructs the molecule a validated spec describes and
+// re-checks the physical invariants the electronic-structure code
+// assumes: an even, positive electron count (RHF) and no coincident
+// nuclei.
+func (s *JobSpec) BuildMolecule() (*chem.Molecule, error) {
+	var mol *chem.Molecule
+	if s.Molecule != "" {
+		name, n, err := parseMoleculeSpec(s.Molecule)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "water":
+			mol = chem.Water()
+		case "h2":
+			mol = chem.H2(1.4)
+		case "waters":
+			mol = chem.WaterCluster(n, s.Seed)
+		case "alkane":
+			mol = chem.Alkane(n)
+		}
+	} else {
+		mol = &chem.Molecule{Name: fmt.Sprintf("inline:%d", len(s.Geometry))}
+		for _, a := range s.Geometry {
+			mol.Atoms = append(mol.Atoms, chem.Atom{
+				Z:   chem.AtomicNumber(a.Element),
+				Pos: chem.Vec3{X: a.X, Y: a.Y, Z: a.Z},
+			})
+		}
+		for i := 0; i < len(mol.Atoms); i++ {
+			for j := i + 1; j < len(mol.Atoms); j++ {
+				if mol.Atoms[i].Pos.Sub(mol.Atoms[j].Pos).Norm() < minAtomSeparation {
+					return nil, fmt.Errorf("serve: atoms %d and %d are coincident", i, j)
+				}
+			}
+		}
+	}
+	mol.Charge = s.Charge
+	ne := mol.NumElectrons()
+	if ne <= 0 {
+		return nil, fmt.Errorf("serve: %d electrons after charge %d", ne, s.Charge)
+	}
+	if ne%2 != 0 {
+		return nil, fmt.Errorf("serve: RHF requires an even electron count, got %d", ne)
+	}
+	return mol, nil
+}
+
+// EstimateCost returns the admission-control cost estimate for a
+// validated spec, in "quartic units" (NBF⁴ — the unscreened two-electron
+// work of one Fock build, the dominant term of an SCF job). It builds
+// the basis (cheap: shell lists only, no integrals) and reports NBF too.
+func (s *JobSpec) EstimateCost() (estFlops float64, nbf int, err error) {
+	mol, err := s.BuildMolecule()
+	if err != nil {
+		return 0, 0, err
+	}
+	bs, err := chem.NewBasis(s.Basis, mol)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: %w", err)
+	}
+	if mol.NumElectrons()/2 > bs.NBF {
+		return 0, 0, fmt.Errorf("serve: %d occupied orbitals exceed %d basis functions", mol.NumElectrons()/2, bs.NBF)
+	}
+	n := float64(bs.NBF)
+	return n * n * n * n, bs.NBF, nil
+}

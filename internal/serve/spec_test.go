@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobSpecValid(t *testing.T) {
+	cases := []string{
+		`{"tenant":"alice","molecule":"water","basis":"sto-3g"}`,
+		`{"tenant":"bob-2","molecule":"waters:3","basis":"6-31g","priority":9,"seed":7}`,
+		`{"tenant":"c_3","molecule":"alkane:2","basis":"6-31g*","maxIter":80}`,
+		`{"tenant":"d","molecule":"h2","basis":"sto-3g","charge":0}`,
+		`{"tenant":"e","geometry":[{"element":"H","x":0,"y":0,"z":0},{"element":"H","x":0,"y":0,"z":1.4}],"basis":"sto-3g"}`,
+		`{"tenant":"f","molecule":"water","basis":"sto-3g","charge":2}`,
+	}
+	for _, body := range cases {
+		spec, err := DecodeJobSpec([]byte(body))
+		if err != nil {
+			t.Errorf("DecodeJobSpec(%s): %v", body, err)
+			continue
+		}
+		if _, err := spec.BuildMolecule(); err != nil {
+			t.Errorf("BuildMolecule(%s): %v", body, err)
+		}
+		if est, nbf, err := spec.EstimateCost(); err != nil || est <= 0 || nbf <= 0 {
+			t.Errorf("EstimateCost(%s) = (%g, %d, %v)", body, est, nbf, err)
+		}
+	}
+}
+
+func TestDecodeJobSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":           ``,
+		"not json":        `molecule=water`,
+		"unknown field":   `{"tenant":"a","molecule":"water","basis":"sto-3g","bogus":1}`,
+		"trailing doc":    `{"tenant":"a","molecule":"water","basis":"sto-3g"}{"x":1}`,
+		"no tenant":       `{"molecule":"water","basis":"sto-3g"}`,
+		"bad tenant char": `{"tenant":"a/../b","molecule":"water","basis":"sto-3g"}`,
+		"long tenant":     `{"tenant":"` + strings.Repeat("a", 65) + `","molecule":"water","basis":"sto-3g"}`,
+		"no system":       `{"tenant":"a","basis":"sto-3g"}`,
+		"both systems":    `{"tenant":"a","molecule":"water","geometry":[{"element":"H"}],"basis":"sto-3g"}`,
+		"bad molecule":    `{"tenant":"a","molecule":"benzene","basis":"sto-3g"}`,
+		"bad count":       `{"tenant":"a","molecule":"waters:0","basis":"sto-3g"}`,
+		"huge count":      `{"tenant":"a","molecule":"waters:65","basis":"sto-3g"}`,
+		"water with arg":  `{"tenant":"a","molecule":"water:3","basis":"sto-3g"}`,
+		"bad basis":       `{"tenant":"a","molecule":"water","basis":"cc-pvqz"}`,
+		"bad priority":    `{"tenant":"a","molecule":"water","basis":"sto-3g","priority":10}`,
+		"bad maxIter":     `{"tenant":"a","molecule":"water","basis":"sto-3g","maxIter":501}`,
+		"huge charge":     `{"tenant":"a","molecule":"water","basis":"sto-3g","charge":65}`,
+		"bad element":     `{"tenant":"a","geometry":[{"element":"Xx","x":0,"y":0,"z":0}],"basis":"sto-3g"}`,
+		"far coordinate":  `{"tenant":"a","geometry":[{"element":"H","x":20000,"y":0,"z":0},{"element":"H","x":0,"y":0,"z":0}],"basis":"sto-3g"}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeJobSpec([]byte(body)); err == nil {
+			t.Errorf("%s: DecodeJobSpec(%s) accepted", name, body)
+		}
+	}
+}
+
+func TestBuildMoleculeRejectsPhysicalNonsense(t *testing.T) {
+	// Odd electron count after charge: RHF cannot run it.
+	odd := &JobSpec{Tenant: "a", Molecule: "water", Basis: "sto-3g", Charge: 1}
+	if _, err := odd.BuildMolecule(); err == nil {
+		t.Error("odd electron count accepted")
+	}
+	// Stripping all electrons.
+	bare := &JobSpec{Tenant: "a", Molecule: "h2", Basis: "sto-3g", Charge: 2}
+	if _, err := bare.BuildMolecule(); err == nil {
+		t.Error("zero-electron system accepted")
+	}
+	// Coincident nuclei blow up the 1/r nuclear repulsion.
+	coincident := &JobSpec{Tenant: "a", Basis: "sto-3g", Geometry: []AtomSpec{
+		{Element: "H", X: 0, Y: 0, Z: 0},
+		{Element: "H", X: 0, Y: 0, Z: 1e-9},
+	}}
+	if _, err := coincident.BuildMolecule(); err == nil {
+		t.Error("coincident nuclei accepted")
+	}
+}
+
+// FuzzJobSpecDecode asserts the decoder's contract on untrusted input:
+// it never panics, and anything it accepts survives Validate and a JSON
+// round trip.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"tenant":"alice","molecule":"water","basis":"sto-3g"}`))
+	f.Add([]byte(`{"tenant":"bob","molecule":"waters:4","basis":"6-31g","priority":3,"charge":2,"maxIter":99,"seed":-1}`))
+	f.Add([]byte(`{"tenant":"c","geometry":[{"element":"O","x":0,"y":0,"z":0},{"element":"H","x":1.8,"y":0,"z":0}],"basis":"sto-3g"}`))
+	f.Add([]byte(`{"tenant":"","molecule":"alkane:99999999999999999999","basis":""}`))
+	f.Add([]byte(`{"tenant":"a","molecule":"water","basis":"sto-3g","charge":-9e99}`))
+	f.Add([]byte(`[{}]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"tenant":"a"} {"tenant":"b"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v", err)
+		}
+		if _, err := json.Marshal(spec); err != nil {
+			t.Fatalf("accepted spec does not re-marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate the committed BENCH_serve.json: a full scfload run (1000
+# concurrent clients, heavy-tailed job mix, three weighted tenants)
+# against a locally started scfd. Numbers are host-dependent; the report
+# records client/worker counts so runs are comparable.
+set -euo pipefail
+
+ADDR=127.0.0.1:8091
+BASE="http://$ADDR"
+OUT="${1:-BENCH_serve.json}"
+CLIENTS="${CLIENTS:-1000}"
+JOBS="${JOBS:-1500}"
+SPOOL="$(mktemp -d)"
+BIN="$(mktemp -d)"
+SCFD_PID=""
+
+cleanup() {
+    [ -n "$SCFD_PID" ] && kill -9 "$SCFD_PID" 2>/dev/null || true
+    rm -rf "$SPOOL" "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/scfd" ./cmd/scfd
+go build -o "$BIN/scfload" ./cmd/scfload
+
+"$BIN/scfd" -addr "$ADDR" -spool "$SPOOL" \
+    -weights acme=3,blue=1,guest=1 -max-depth 256 &
+SCFD_PID=$!
+for _ in $(seq 1 100); do
+    if curl -fs "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+
+"$BIN/scfload" -addr "$BASE" -clients "$CLIENTS" -jobs "$JOBS" \
+    -out "$OUT" -tenants acme=3,blue=1,guest=1
+
+kill -TERM "$SCFD_PID"
+wait "$SCFD_PID"
+SCFD_PID=""
+echo "bench_serve: wrote $OUT"
