@@ -48,6 +48,7 @@ lint-fuzz:
 # the static allocfree proof over the same hot paths.
 zero-alloc:
 	go test ./internal/chem/ -run ZeroAlloc -count=1 -v
+	go test ./internal/core/ -run ZeroAlloc -count=1 -v
 	go run ./cmd/execlint -analyzer allocfree ./...
 
 bench:
@@ -90,9 +91,12 @@ cover-check:
 		'{ pct = $$3 + 0; printf "coverage %.1f%% (floor %.1f%%)\n", pct, min; \
 		   if (pct < min) { print "coverage regressed below the ratchet"; exit 1 } }'
 
-# Short deterministic fuzz pass (CI runs the same budget).
+# Short deterministic fuzz pass (CI runs the same budget): the
+# scheduling comparability invariant and the Schwarz no-false-pruning
+# bound.
 fuzz:
 	go test ./internal/core/ -fuzz FuzzSemiVsHypergraphAssignment -fuzztime 30s -run '^$$'
+	go test ./internal/chem/ -fuzz FuzzSchwarzBound -fuzztime 30s -run '^$$'
 
 # Fuzz the job-server spec decoder: untrusted submissions must never
 # panic, and accepted specs must survive Validate and a JSON round trip.

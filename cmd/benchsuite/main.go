@@ -35,6 +35,7 @@ func main() {
 		svgDir    = flag.String("svg", "", "render the figure experiments (F2-F7) as SVG charts into this directory and exit")
 		metrics   = flag.String("metrics", "", "run every model at -ranks and write OpenMetrics dumps, JSON summaries and blame tables into this directory, then exit")
 		wallOut   = flag.String("wall", "", "run the wall-clock Fock benchmark and write its JSON report (BENCH_wall.json) to this file, then exit")
+		wallCap   = flag.Int("wall-workers", 0, "with -wall: cap the worker sweep at this count (0 = full sweep; CI smoke uses 2)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 	}
 
 	s := bench.NewSuite(*scale, *seed)
+	s.MaxWorkers = *wallCap
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {

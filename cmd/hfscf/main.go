@@ -21,28 +21,31 @@ import (
 
 	"execmodels/internal/chem"
 	"execmodels/internal/core"
+	"execmodels/internal/linalg"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfscf: ")
 	var (
-		molecule = flag.String("molecule", "water", "water | h2 | waters:N | alkane:N | random:N | xyz:FILE")
-		basis    = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g or 6-31g*")
-		mode     = flag.String("mode", "serial", "fock build: serial | static | dynamic | stealing")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for parallel modes")
-		maxIter  = flag.Int("maxiter", 50, "maximum SCF iterations")
-		screen   = flag.Float64("screen", 1e-10, "Schwarz screening threshold")
-		block    = flag.Int("block", 4, "bra-pair block size for the Fock workload")
-		orbitals = flag.Bool("orbitals", false, "print orbital energies")
-		seed     = flag.Int64("seed", 7, "seed for generated geometries and the work-stealing scheduler")
-		dynblock = flag.Int("dynblock", 1, "tasks fetched per shared-counter op in -mode dynamic")
-		diis     = flag.Bool("diis", true, "DIIS convergence acceleration")
-		mp2      = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems only)")
-		props    = flag.Bool("properties", false, "print dipole moment and Mulliken charges")
-		uhf      = flag.Bool("uhf", false, "unrestricted Hartree-Fock")
-		mult     = flag.Int("multiplicity", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
-		charge   = flag.Int("charge", 0, "net molecular charge")
+		molecule  = flag.String("molecule", "water", "water | h2 | waters:N | alkane:N | random:N | xyz:FILE")
+		basis     = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g or 6-31g*")
+		mode      = flag.String("mode", "serial", "fock build: serial | static | dynamic | stealing")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for parallel modes")
+		maxIter   = flag.Int("maxiter", 50, "maximum SCF iterations")
+		screen    = flag.Float64("screen", 1e-10, "Schwarz screening threshold")
+		block     = flag.Int("block", 4, "bra-pair block size for the Fock workload")
+		pairblock = flag.Int("pairblock", 0, "re-block parallel tasks to this many bra pairs (0 = keep -block; screening data is shared, so re-blocking is cheap)")
+		orbitals  = flag.Bool("orbitals", false, "print orbital energies")
+		seed      = flag.Int64("seed", 7, "seed for generated geometries and the work-stealing scheduler")
+		dynblock  = flag.Int("dynblock", 1, "tasks fetched per shared-counter op in -mode dynamic")
+		diis      = flag.Bool("diis", true, "DIIS convergence acceleration")
+		mp2       = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems only)")
+		props     = flag.Bool("properties", false, "print dipole moment and Mulliken charges")
+		uhf       = flag.Bool("uhf", false, "unrestricted Hartree-Fock")
+		mult      = flag.Int("multiplicity", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
+		charge    = flag.Int("charge", 0, "net molecular charge")
+		nosym     = flag.Bool("nosym", false, "disable 8-fold symmetry folding and Schwarz screening: every Fock build runs the naive N^4 quadruple loop (ground-truth escape hatch; serial RHF only, ~8x+ slower)")
 	)
 	flag.Parse()
 
@@ -55,24 +58,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	wallOpts := core.WallOptions{Seed: *seed, Block: *dynblock, PairBlock: *pairblock}
+
+	if *nosym && (*mode != "serial" || *uhf) {
+		log.Fatal("-nosym is the serial restricted ground-truth path; it cannot combine with -mode or -uhf")
+	}
 
 	if *uhf {
-		runUHF(mol, bs, *mult, *maxIter, *screen, *block)
+		runUHF(mol, bs, *mult, *maxIter, *screen, *block, *mode, *workers, wallOpts)
 		return
 	}
 
 	var builder chem.FockBuilder
 	if *mode != "serial" {
-		builder, err = core.ParallelFockBuilder(*mode, *workers,
-			core.WallOptions{Seed: *seed, Block: *dynblock})
+		builder, err = core.ParallelFockBuilder(*mode, *workers, wallOpts)
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+	if *nosym {
+		builder = func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
+			return chem.BuildFockNaive(fw.Basis, h, d)
 		}
 	}
 
 	fmt.Printf("molecule  %s (%d atoms, %d electrons)\n", mol.Name, len(mol.Atoms), mol.NumElectrons())
 	fmt.Printf("basis     %s (%d shells, %d functions)\n", bs.Name, len(bs.Shells), bs.NBF)
-	fmt.Printf("fock mode %s", *mode)
+	fmt.Printf("fock mode %s", fockModeName(*mode, *nosym))
 	if *mode != "serial" {
 		fmt.Printf(" (%d workers)", *workers)
 	}
@@ -92,6 +104,7 @@ func main() {
 
 	fmt.Printf("\ntasks     %d (cost max/mean %.2f)\n",
 		len(res.Workload.Tasks), res.Workload.CostImbalance())
+	printQuartetStats(res.Workload, *nosym)
 	if !res.Converged {
 		fmt.Printf("WARNING   not converged after %d iterations\n", res.Iterations)
 	} else {
@@ -135,18 +148,53 @@ func main() {
 	}
 }
 
+func fockModeName(mode string, nosym bool) string {
+	if nosym {
+		return "serial (naive N^4, no symmetry/screening)"
+	}
+	return mode
+}
+
+// printQuartetStats reports how much work the 8-fold symmetry folding and
+// Schwarz screening removed before any task reached an executor.
+func printQuartetStats(w *chem.FockWorkload, nosym bool) {
+	st := w.Stats()
+	if nosym {
+		fmt.Printf("quartets  %d ordered (naive loop computes all of them)\n", st.NaiveQuartets)
+		return
+	}
+	fold := float64(st.NaiveQuartets) / float64(st.UniqueQuartets)
+	fmt.Printf("quartets  %d unique of %d ordered (%.2fx symmetry fold), %d surviving screening\n",
+		st.UniqueQuartets, st.NaiveQuartets, fold, st.Surviving)
+}
+
 // runUHF drives the unrestricted branch of the tool.
-func runUHF(mol *chem.Molecule, bs *chem.BasisSet, mult, maxIter int, screen float64, block int) {
-	start := time.Now()
-	res, err := chem.RunUHF(mol, bs, chem.UHFOptions{
+func runUHF(mol *chem.Molecule, bs *chem.BasisSet, mult, maxIter int, screen float64, block int,
+	mode string, workers int, wallOpts core.WallOptions) {
+	opts := chem.UHFOptions{
 		Multiplicity: mult,
 		MaxIter:      maxIter,
 		Screening:    screen,
 		BlockSize:    block,
-	})
+	}
+	if mode != "serial" {
+		builder, err := core.ParallelUHFFockBuilder(mode, workers, wallOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Builder = builder
+	}
+	fmt.Printf("fock mode %s", mode)
+	if mode != "serial" {
+		fmt.Printf(" (%d workers)", workers)
+	}
+	fmt.Println()
+	start := time.Now()
+	res, err := chem.RunUHF(mol, bs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	printQuartetStats(res.Workload, false)
 	if !res.Converged {
 		fmt.Printf("WARNING   not converged after %d iterations\n", res.Iterations)
 	} else {

@@ -91,6 +91,10 @@ type Suite struct {
 	Scale string // "small" (seconds, for tests) or "paper" (full sweep)
 	Seed  int64
 
+	// MaxWorkers, when > 0, caps the wall-clock benchmark's worker sweep
+	// (the CI smoke run caps at 2 so it finishes in seconds).
+	MaxWorkers int
+
 	once  sync.Once
 	bs    *chem.BasisSet
 	mol   *chem.Molecule

@@ -12,11 +12,13 @@ import (
 )
 
 // WallBenchRow is one measured configuration of the wall-clock Fock
-// backend: a (molecule, mode, workers) point of the perf trajectory.
+// backend: a (molecule, mode, workers, pair-block) point of the perf
+// trajectory.
 type WallBenchRow struct {
 	Molecule      string  `json:"molecule"`
 	Mode          string  `json:"mode"` // serial-baseline | serial-arena | static | dynamic | stealing
 	Workers       int     `json:"workers"`
+	PairBlock     int     `json:"pair_block"` // bra shell-pairs per task
 	Tasks         int     `json:"tasks"`
 	NsPerTask     float64 `json:"ns_per_task"`
 	GFlops        float64 `json:"gflops"`
@@ -24,24 +26,42 @@ type WallBenchRow struct {
 	// Speedup is serial-arena elapsed / this run's elapsed, so the
 	// serial-arena row is 1 by construction and the serial-baseline row
 	// is < 1 by exactly the arena's hot-path improvement factor.
-	Speedup    float64 `json:"speedup_vs_serial_arena"`
-	Steals     int64   `json:"steals,omitempty"`
-	StealRetry int64   `json:"steal_retries,omitempty"`
-	CounterOps int64   `json:"counter_ops,omitempty"`
+	Speedup float64 `json:"speedup_vs_serial_arena"`
+	// Degenerate marks rows that ran with more workers than the host has
+	// CPUs (Workers > NumCPU): their timings measure scheduling overhead
+	// under oversubscription, not parallel scaling, and must not be read
+	// as speedup points. Machine-checked against NumCPU by the schema
+	// test.
+	Degenerate bool  `json:"degenerate,omitempty"`
+	Steals     int64 `json:"steals,omitempty"`
+	StealRetry int64 `json:"steal_retries,omitempty"`
+	CounterOps int64 `json:"counter_ops,omitempty"`
 }
 
 // WallBenchReport is the machine-readable output of the wall-clock
 // benchmark (committed as BENCH_wall.json; regenerate with
 // `make bench-wall`).
 type WallBenchReport struct {
-	Scale      string         `json:"scale"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Seed       int64          `json:"seed"`
-	DynBlock   int            `json:"dyn_block"`
-	Note       string         `json:"note,omitempty"`
-	Rows       []WallBenchRow `json:"rows"`
+	Scale      string `json:"scale"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Seed       int64  `json:"seed"`
+	DynBlock   int    `json:"dyn_block"`
+	// Quartets records, per molecule, how much work symmetry folding and
+	// Schwarz screening removed before any task reached a scheduler.
+	Quartets []WallQuartetStats `json:"quartets"`
+	Rows     []WallBenchRow     `json:"rows"`
+}
+
+// WallQuartetStats is one molecule's symmetry/screening accounting.
+type WallQuartetStats struct {
+	Molecule       string `json:"molecule"`
+	Shells         int    `json:"shells"`
+	NaiveQuartets  int64  `json:"naive_quartets"`  // N^4, the symmetry-free loop
+	UniqueQuartets int64  `json:"unique_quartets"` // canonical quartets before screening
+	Surviving      int64  `json:"surviving"`       // after Schwarz screening at the bench threshold
 }
 
 // wallMolecule is one input of the wall benchmark.
@@ -63,16 +83,40 @@ func (s *Suite) wallMolecules() []wallMolecule {
 	}
 }
 
-// wallWorkers returns the worker-count sweep.
+// wallWorkers returns the worker-count sweep, capped at MaxWorkers when
+// the caller set one (the CI smoke run uses 2). The sweep intentionally
+// extends past NumCPU on small hosts so oversubscription overhead is
+// visible — those rows are marked degenerate.
 func (s *Suite) wallWorkers() []int {
+	sweep := []int{1, 2, 4}
 	if s.Scale == "paper" {
-		return []int{1, 2, 4, 8}
+		sweep = append(sweep, 8)
 	}
-	return []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 && s.Scale != "paper" {
+		sweep = append(sweep, n)
+	}
+	if s.MaxWorkers > 0 {
+		capped := sweep[:0]
+		for _, w := range sweep {
+			if w <= s.MaxWorkers {
+				capped = append(capped, w)
+			}
+		}
+		sweep = capped
+	}
+	return sweep
 }
 
 // wallDynBlock is the NXTVAL fetch block used by the dynamic rows.
 const wallDynBlock = 4
+
+// wallPairBlock is the default bra-pair task granularity; the pair-block
+// sweep at the top worker count re-blocks the workload around it.
+const wallPairBlock = 4
+
+// wallPairBlocks is the granularity sweep (W2): run at the top worker
+// count with tasks of 1, 4 and 16 bra pairs.
+func wallPairBlocks() []int { return []int{1, wallPairBlock, 16} }
 
 // serialSweeps runs full serial sweeps over the workload until minTime
 // has elapsed (at least once), returning elapsed time, sweep count and
@@ -137,36 +181,61 @@ func wallModeRun(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, worker
 	return best, allocs
 }
 
+// wallParallelRow builds one parallel-mode row against the serial-arena
+// reference time.
+func wallParallelRow(molecule, mode string, fw *chem.FockWorkload, res *core.WallResult,
+	workers, pairBlock int, allocs float64, arenaPerSweep time.Duration, flops float64) WallBenchRow {
+	nt := len(fw.Tasks)
+	return WallBenchRow{
+		Molecule: molecule, Mode: mode, Workers: workers, PairBlock: pairBlock, Tasks: nt,
+		NsPerTask:     float64(res.Elapsed.Nanoseconds()) / float64(nt),
+		GFlops:        flops / res.Elapsed.Seconds() / 1e9,
+		AllocsPerTask: allocs,
+		Speedup:       arenaPerSweep.Seconds() / res.Elapsed.Seconds(),
+		Degenerate:    workers > runtime.NumCPU(),
+		Steals:        res.Steals,
+		StealRetry:    res.StealRetry,
+		CounterOps:    res.CounterOps,
+	}
+}
+
 // WallBench measures the wall-clock Fock backend: the retained pre-arena
-// serial path ("before"), the arena serial path ("after"), and the three
-// parallel modes across the worker sweep, on each benchmark molecule.
+// serial path ("before"), the arena serial path ("after"), the three
+// parallel modes across the worker sweep, and the pair-block granularity
+// sweep at the top worker count, on each benchmark molecule.
 func (s *Suite) WallBench() *WallBenchReport {
 	rep := &WallBenchReport{
 		Scale:      s.Scale,
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Seed:       s.Seed,
 		DynBlock:   wallDynBlock,
-	}
-	if rep.GOMAXPROCS == 1 {
-		rep.Note = "single-core host: parallel rows degenerate to serial time plus scheduling overhead; compare ns/task and allocs/task"
 	}
 	minTime := 100 * time.Millisecond
 	reps := 3
 	if s.Scale == "paper" {
 		minTime = 300 * time.Millisecond
 	}
+	workerSweep := s.wallWorkers()
+	topWorkers := workerSweep[len(workerSweep)-1]
 	for _, wm := range s.wallMolecules() {
 		bs, err := chem.NewBasis("sto-3g", wm.mol)
 		if err != nil {
 			panic(err)
 		}
-		fw := chem.BuildFockWorkload(bs, 1e-9, 4)
+		fw := chem.BuildFockWorkload(bs, 1e-9, wallPairBlock)
 		h := chem.CoreHamiltonian(bs, wm.mol)
 		d := linalg.Identity(bs.NBF)
 		nt := len(fw.Tasks)
 		flops := fw.TotalFlops()
+		st := fw.Stats()
+		rep.Quartets = append(rep.Quartets, WallQuartetStats{
+			Molecule: wm.name, Shells: st.Shells,
+			NaiveQuartets: st.NaiveQuartets, UniqueQuartets: st.UniqueQuartets,
+			Surviving: st.Surviving,
+		})
 
 		baseEl, baseSw, baseAllocs := serialSweeps(fw, d, true, minTime)
 		arenaEl, arenaSw, arenaAllocs := serialSweeps(fw, d, false, minTime)
@@ -174,34 +243,41 @@ func (s *Suite) WallBench() *WallBenchReport {
 		arenaPerSweep := arenaEl / time.Duration(arenaSw)
 		rep.Rows = append(rep.Rows,
 			WallBenchRow{
-				Molecule: wm.name, Mode: "serial-baseline", Workers: 1, Tasks: nt,
+				Molecule: wm.name, Mode: "serial-baseline", Workers: 1, PairBlock: wallPairBlock, Tasks: nt,
 				NsPerTask:     float64(basePerSweep.Nanoseconds()) / float64(nt),
 				GFlops:        flops / basePerSweep.Seconds() / 1e9,
 				AllocsPerTask: baseAllocs,
 				Speedup:       arenaPerSweep.Seconds() / basePerSweep.Seconds(),
 			},
 			WallBenchRow{
-				Molecule: wm.name, Mode: "serial-arena", Workers: 1, Tasks: nt,
+				Molecule: wm.name, Mode: "serial-arena", Workers: 1, PairBlock: wallPairBlock, Tasks: nt,
 				NsPerTask:     float64(arenaPerSweep.Nanoseconds()) / float64(nt),
 				GFlops:        flops / arenaPerSweep.Seconds() / 1e9,
 				AllocsPerTask: arenaAllocs,
 				Speedup:       1,
 			})
 
-		for _, workers := range s.wallWorkers() {
+		for _, workers := range workerSweep {
 			for _, mode := range []string{"static", "dynamic", "stealing"} {
 				res, allocs := wallModeRun(mode, fw, h, d, workers, wallDynBlock, s.Seed, reps)
-				row := WallBenchRow{
-					Molecule: wm.name, Mode: mode, Workers: workers, Tasks: nt,
-					NsPerTask:     float64(res.Elapsed.Nanoseconds()) / float64(nt),
-					GFlops:        flops / res.Elapsed.Seconds() / 1e9,
-					AllocsPerTask: allocs,
-					Speedup:       arenaPerSweep.Seconds() / res.Elapsed.Seconds(),
-					Steals:        res.Steals,
-					StealRetry:    res.StealRetry,
-					CounterOps:    res.CounterOps,
-				}
-				rep.Rows = append(rep.Rows, row)
+				rep.Rows = append(rep.Rows,
+					wallParallelRow(wm.name, mode, fw, res, workers, wallPairBlock, allocs, arenaPerSweep, flops))
+			}
+		}
+
+		// Granularity sweep (W2): same executors at the top worker count,
+		// tasks re-blocked around the default size. Reblock shares the
+		// screening data and Hermite tables, so this costs only task
+		// bookkeeping.
+		for _, pb := range wallPairBlocks() {
+			if pb == wallPairBlock {
+				continue // already measured in the worker sweep
+			}
+			fwb := fw.Reblock(pb)
+			for _, mode := range []string{"static", "dynamic", "stealing"} {
+				res, allocs := wallModeRun(mode, fwb, h, d, topWorkers, wallDynBlock, s.Seed, reps)
+				rep.Rows = append(rep.Rows,
+					wallParallelRow(wm.name, mode, fwb, res, topWorkers, pb, allocs, arenaPerSweep, flops))
 			}
 		}
 	}
@@ -221,16 +297,22 @@ func (s *Suite) WallBenchTable() *Table {
 	rep := s.WallBench()
 	t := &Table{
 		ID:     "W1",
-		Title:  f("wall-clock Fock backend, %s scale (GOMAXPROCS=%d)", rep.Scale, rep.GOMAXPROCS),
-		Header: []string{"molecule", "mode", "workers", "ns/task", "GFLOP/s", "allocs/task", "speedup"},
+		Title:  f("wall-clock Fock backend, %s scale (GOMAXPROCS=%d, NumCPU=%d)", rep.Scale, rep.GOMAXPROCS, rep.NumCPU),
+		Header: []string{"molecule", "mode", "workers", "pairblk", "ns/task", "GFLOP/s", "allocs/task", "speedup", "degenerate"},
 	}
 	improvement := map[string]float64{}
 	nsPerTask := map[string]float64{}
+	degenerate := 0
 	for _, r := range rep.Rows {
+		deg := ""
+		if r.Degenerate {
+			deg = "yes"
+			degenerate++
+		}
 		t.Rows = append(t.Rows, []string{
-			r.Molecule, r.Mode, f("%d", r.Workers),
+			r.Molecule, r.Mode, f("%d", r.Workers), f("%d", r.PairBlock),
 			f("%.0f", r.NsPerTask), f("%.3f", r.GFlops),
-			f("%.1f", r.AllocsPerTask), f("%.2fx", r.Speedup),
+			f("%.1f", r.AllocsPerTask), f("%.2fx", r.Speedup), deg,
 		})
 		switch r.Mode {
 		case "serial-baseline":
@@ -241,14 +323,20 @@ func (s *Suite) WallBenchTable() *Table {
 			}
 		}
 	}
+	for _, q := range rep.Quartets {
+		t.Notes = append(t.Notes,
+			f("%s: %d shells, %d naive quartets folded to %d unique, %d surviving Schwarz screening",
+				q.Molecule, q.Shells, q.NaiveQuartets, q.UniqueQuartets, q.Surviving))
+	}
 	for _, wm := range s.wallMolecules() {
 		if imp, ok := improvement[wm.name]; ok {
 			t.Notes = append(t.Notes,
 				f("%s: arena hot path is %.2fx the pre-arena baseline at 1 worker (gate: >= 2x on the quickstart molecule)", wm.name, imp))
 		}
 	}
-	if rep.Note != "" {
-		t.Notes = append(t.Notes, rep.Note)
+	if degenerate > 0 {
+		t.Notes = append(t.Notes,
+			f("%d rows ran with more workers than the %d available CPUs and are marked degenerate: they measure oversubscription overhead, not scaling", degenerate, rep.NumCPU))
 	}
 	return t
 }

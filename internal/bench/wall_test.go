@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"execmodels/internal/chem"
+	"execmodels/internal/core"
+)
+
+// The committed wall-clock benchmark report must match the schema
+// exactly: strict decoding rejects leftover fields from older layouts
+// (the free-text single-core note was replaced by the machine-checkable
+// degenerate flag), and every row's degenerate marking must be consistent
+// with the recorded CPU count — rows that oversubscribed the host must
+// say so, and rows that did not must not.
+func TestWallBenchCommittedSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_wall.json")
+	if err != nil {
+		t.Fatalf("committed benchmark report missing (regenerate with `make bench-wall`): %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep WallBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_wall.json does not match the WallBenchReport schema: %v", err)
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		t.Fatalf("gomaxprocs=%d numcpu=%d", rep.GOMAXPROCS, rep.NumCPU)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(rep.Quartets) == 0 {
+		t.Fatal("no quartet statistics")
+	}
+	for _, q := range rep.Quartets {
+		if q.UniqueQuartets < q.NaiveQuartets/8 || q.UniqueQuartets > q.NaiveQuartets {
+			t.Errorf("%s: unique quartets %d outside [naive/8, naive] for naive %d",
+				q.Molecule, q.UniqueQuartets, q.NaiveQuartets)
+		}
+		if q.Surviving <= 0 || q.Surviving > q.UniqueQuartets {
+			t.Errorf("%s: surviving %d outside (0, %d]", q.Molecule, q.Surviving, q.UniqueQuartets)
+		}
+	}
+	for i, r := range rep.Rows {
+		if r.Workers < 1 || r.PairBlock < 1 || r.Tasks < 1 {
+			t.Errorf("row %d (%s/%s): workers=%d pair_block=%d tasks=%d",
+				i, r.Molecule, r.Mode, r.Workers, r.PairBlock, r.Tasks)
+		}
+		if r.NsPerTask <= 0 || r.Speedup <= 0 {
+			t.Errorf("row %d (%s/%s): ns_per_task=%g speedup=%g",
+				i, r.Molecule, r.Mode, r.NsPerTask, r.Speedup)
+		}
+		if want := r.Workers > rep.NumCPU; r.Degenerate != want {
+			t.Errorf("row %d (%s/%s workers=%d, numcpu=%d): degenerate=%v, want %v",
+				i, r.Molecule, r.Mode, r.Workers, rep.NumCPU, r.Degenerate, want)
+		}
+	}
+}
+
+// The degenerate flag is computed, not hand-written: any parallel row
+// built for more workers than the host has CPUs must carry it.
+func TestWallParallelRowDegenerateFlag(t *testing.T) {
+	fw := wallTestWorkload(t)
+	res := &core.WallResult{Elapsed: time.Millisecond}
+	ncpu := runtime.NumCPU()
+	if row := wallParallelRow("m", "static", fw, res, ncpu, 4, 0, time.Millisecond, 1); row.Degenerate {
+		t.Errorf("workers=NumCPU row marked degenerate")
+	}
+	if row := wallParallelRow("m", "static", fw, res, ncpu+1, 4, 0, time.Millisecond, 1); !row.Degenerate {
+		t.Errorf("workers=NumCPU+1 row not marked degenerate")
+	}
+}
+
+// MaxWorkers caps the sweep for the CI smoke run without reordering it.
+func TestWallWorkersCap(t *testing.T) {
+	s := NewSuite("small", 1)
+	full := s.wallWorkers()
+	if len(full) < 2 || full[0] != 1 {
+		t.Fatalf("unexpected default sweep %v", full)
+	}
+	s.MaxWorkers = 2
+	capped := s.wallWorkers()
+	if len(capped) == 0 {
+		t.Fatal("capped sweep empty")
+	}
+	for _, w := range capped {
+		if w > 2 {
+			t.Errorf("sweep %v exceeds MaxWorkers=2", capped)
+		}
+	}
+	if capped[0] != 1 || capped[len(capped)-1] != 2 {
+		t.Errorf("capped sweep %v, want [1 2]", capped)
+	}
+}
+
+func wallTestWorkload(t *testing.T) *chem.FockWorkload {
+	t.Helper()
+	bs, err := chem.NewBasis("sto-3g", chem.Water())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chem.BuildFockWorkload(bs, 1e-9, 4)
+}
+
+// Sanity: the row constructor's arithmetic (speedup relative to the
+// serial-arena sweep) and telemetry plumbing.
+func TestWallParallelRowArithmetic(t *testing.T) {
+	fw := wallTestWorkload(t)
+	res := &core.WallResult{Elapsed: 2 * time.Millisecond, Steals: 3, StealRetry: 5, CounterOps: 7}
+	row := wallParallelRow("m", "stealing", fw, res, 1, 4, 1.5, 4*time.Millisecond, 0)
+	if row.Speedup != 2 {
+		t.Errorf("speedup = %g, want 2 (4ms serial / 2ms parallel)", row.Speedup)
+	}
+	if row.Steals != 3 || row.StealRetry != 5 || row.CounterOps != 7 {
+		t.Errorf("telemetry not plumbed: %+v", row)
+	}
+	if row.AllocsPerTask != 1.5 || row.Tasks != len(fw.Tasks) {
+		t.Errorf("allocs/tasks not plumbed: %+v", row)
+	}
+}

@@ -44,3 +44,61 @@ func NewERIScratch(bs *BasisSet) *ERIScratch {
 func (w *FockWorkload) NewScratch() *ERIScratch {
 	return NewERIScratch(w.Basis)
 }
+
+// JKAccum bundles the worker-private Coulomb/exchange accumulators of a
+// parallel Fock build with the scratch arena that digests into them: J
+// plus one exchange matrix per spin channel (KB nil for spin-restricted
+// builds). Executors hand each worker one JKAccum, let it digest its
+// tasks allocation-free, and fold the accumulators into the shared
+// matrices only after every worker has finished — the symmetric digest
+// scatters into all eight J/K slots of a quartet, so workers must never
+// share an accumulator mid-build (see core's post-wg.Wait merge).
+type JKAccum struct {
+	J, KA, KB *linalg.Matrix
+	Scratch   *ERIScratch
+}
+
+// NewJKAccum returns a worker accumulator sized for the workload; spin
+// selects the unrestricted shape with separate Kα/Kβ.
+func (w *FockWorkload) NewJKAccum(spin bool) *JKAccum {
+	n := w.Basis.NBF
+	a := &JKAccum{
+		J:       linalg.NewMatrix(n, n),
+		KA:      linalg.NewMatrix(n, n),
+		Scratch: w.NewScratch(),
+	}
+	if spin {
+		a.KB = linalg.NewMatrix(n, n)
+	}
+	return a
+}
+
+// ExecuteTaskAccum digests one task into the accumulator: the restricted
+// contraction when a.KB is nil (dj feeds J, dkA the single K), otherwise
+// the unrestricted one (dj = total density, dkA/dkB the per-spin
+// exchange densities). It is the single entry point the wall-clock
+// worker loop uses for both spin shapes.
+//
+//hotpath:allocfree
+func (w *FockWorkload) ExecuteTaskAccum(t *FockTask, dj, dkA, dkB *linalg.Matrix, a *JKAccum) int {
+	s := a.Scratch
+	if a.KB == nil {
+		s.ks[0], s.dks[0] = a.KA, dkA
+		return w.executeTask(t, dj, s.ks[:1], s.dks[:1], a.J, s)
+	}
+	s.ks[0], s.ks[1] = a.KA, a.KB
+	s.dks[0], s.dks[1] = dkA, dkB
+	return w.executeTask(t, dj, s.ks[:2], s.dks[:2], a.J, s)
+}
+
+// MergeInto folds the worker's accumulators into the shared J/K
+// matrices. Callers sequence merges (worker 0, 1, ...) after all workers
+// have stopped digesting, so the result is deterministic for a fixed
+// worker count and the merge itself needs no synchronization.
+func (a *JKAccum) MergeInto(j, kA, kB *linalg.Matrix) {
+	j.AddScaled(1, a.J)
+	kA.AddScaled(1, a.KA)
+	if a.KB != nil && kB != nil {
+		kB.AddScaled(1, a.KB)
+	}
+}

@@ -203,12 +203,23 @@ func pairIndex(i, j int) int { return j*(j+1)/2 + i }
 // block of unique bra shell-pairs. Executing the task computes, for every
 // bra pair in the block, all surviving unique quartets with ket pair index
 // <= bra pair index, and digests them into partial J/K matrices.
+//
+// Schwarz screening is resolved when the task is generated, not when it
+// is executed: Kets holds the exact surviving ket-pair index list per bra
+// pair, so workers never evaluate a bound and the task multiset handed to
+// a scheduler is already pruned.
 type FockTask struct {
 	ID         int
 	BraPairs   []ShellPair // the bra pairs owned by this task
 	PairOffset int         // index of BraPairs[0] within the workload's Pairs
 	EstFlops   float64     // cost-model estimate (ERIBlockFlops sum, post-screening)
 	NumQuarts  int         // surviving quartets (post-screening)
+
+	// Kets[i] lists, in ascending order, the workload pair indices of the
+	// surviving ket pairs for BraPairs[i] (those with index <= the bra's
+	// global position whose bound product clears the threshold). All rows
+	// share one backing array sized NumQuarts.
+	Kets [][]int32
 }
 
 // FockWorkload is the screened, blocked decomposition of one Fock build.
@@ -251,38 +262,102 @@ func BuildFockWorkloadFromPairs(bs *BasisSet, allPairs []ShellPair, threshold fl
 	for i, p := range pairs {
 		w.pairData[i] = NewPairData(&bs.Shells[p.I], &bs.Shells[p.J])
 	}
+	w.blockTasks(blockSize)
+	return w
+}
+
+// blockTasks (re)builds the task decomposition at the given bra-pair
+// block size, resolving Schwarz screening into each task's explicit
+// Kets lists: the executor's quartet multiset is fixed here, at
+// generation time, and workers never test a bound.
+func (w *FockWorkload) blockTasks(blockSize int) {
+	bs, pairs := w.Basis, w.Pairs
+	w.Tasks = nil
 	for start := 0; start < len(pairs); start += blockSize {
 		end := start + blockSize
 		if end > len(pairs) {
 			end = len(pairs)
 		}
 		t := FockTask{ID: len(w.Tasks), BraPairs: pairs[start:end], PairOffset: start}
+		t.Kets = make([][]int32, end-start)
+		// First pass sizes the shared backing array so the per-bra rows
+		// are sub-slices of one allocation.
+		for bi := start; bi < end; bi++ {
+			for ki := 0; ki <= bi; ki++ {
+				if quartetSurvives(&pairs[bi], &pairs[ki], w.Threshold) {
+					t.NumQuarts++
+				}
+			}
+		}
+		kets := make([]int32, 0, t.NumQuarts)
 		for bi := start; bi < end; bi++ {
 			bra := pairs[bi]
+			row := len(kets)
 			for ki := 0; ki <= bi; ki++ {
 				ket := pairs[ki]
-				if bra.Bound*ket.Bound < threshold {
+				if !quartetSurvives(&bra, &ket, w.Threshold) {
 					continue
 				}
+				kets = append(kets, int32(ki))
 				t.EstFlops += ERIBlockFlops(
 					&bs.Shells[bra.I], &bs.Shells[bra.J],
 					&bs.Shells[ket.I], &bs.Shells[ket.J])
-				t.NumQuarts++
 			}
+			t.Kets[bi-start] = kets[row:len(kets):len(kets)]
 		}
 		w.Tasks = append(w.Tasks, t)
 	}
-	return w
+}
+
+// Reblock returns a workload over the same screened pairs, Schwarz data
+// and per-pair Hermite tables, re-decomposed into tasks of blockSize bra
+// pairs. Because the expensive screening and pair setup are shared,
+// granularity sweeps (WallOptions.PairBlock, the W2 experiment) cost
+// only the task bookkeeping. The returned workload digests exactly the
+// same quartets in the same global bra-major order, so a serial sweep
+// over its tasks is bit-identical to one over the original's.
+func (w *FockWorkload) Reblock(blockSize int) *FockWorkload {
+	if blockSize < 1 {
+		panic("chem: blockSize must be >= 1")
+	}
+	nw := &FockWorkload{Basis: w.Basis, Pairs: w.Pairs, Threshold: w.Threshold, pairData: w.pairData}
+	nw.blockTasks(blockSize)
+	return nw
+}
+
+// WorkloadStats summarizes how much work symmetry folding and Schwarz
+// screening removed before any task reached a scheduler.
+type WorkloadStats struct {
+	Shells           int   // basis shells N
+	AllPairs         int   // N(N+1)/2 candidate shell pairs
+	SignificantPairs int   // pairs surviving SignificantPairs
+	NaiveQuartets    int64 // N^4 ordered quartets of the symmetry-free loop
+	UniqueQuartets   int64 // canonical quartets before screening: M(M+1)/2, M = AllPairs
+	Surviving        int64 // unique quartets surviving Schwarz screening (sum of task NumQuarts)
+}
+
+// Stats returns the workload's symmetry/screening accounting.
+func (w *FockWorkload) Stats() WorkloadStats {
+	n := int64(len(w.Basis.Shells))
+	m := n * (n + 1) / 2
+	st := WorkloadStats{
+		Shells:           int(n),
+		AllPairs:         int(m),
+		SignificantPairs: len(w.Pairs),
+		NaiveQuartets:    n * n * n * n,
+		UniqueQuartets:   m * (m + 1) / 2,
+	}
+	for i := range w.Tasks {
+		st.Surviving += int64(w.Tasks[i].NumQuarts)
+	}
+	return st
 }
 
 // ExecuteTask runs one Fock task against density d, accumulating into the
 // caller's partial J and K matrices. It returns the number of quartets
-// actually computed.
-//
-// The bra/ket pair enumeration must match BuildFockWorkload's cost
-// estimate: for each bra pair, all ket pairs with index <= the bra's
-// global pair position survive screening symmetry (each unique quartet is
-// visited exactly once across all tasks).
+// actually computed — always exactly the task's NumQuarts, since the
+// quartet multiset was resolved at generation time into the Kets lists
+// (each unique quartet appears on exactly one task).
 //
 // Each call sets up a fresh scratch arena; loops over many tasks should
 // use ExecuteTaskScratch with a single arena per worker instead.
@@ -318,6 +393,12 @@ func (w *FockWorkload) ExecuteTaskSpinScratch(t *FockTask, dTot, dA, dB, j, kA, 
 	return w.executeTask(t, dTot, s.ks[:2], s.dks[:2], j, s)
 }
 
+// executeTask digests every quartet on the task's pre-screened Kets
+// lists. No Schwarz bound is evaluated here — the surviving quartet
+// multiset was fixed at task-generation time (blockTasks), so the worker
+// loop is pure compute: ERI block, symmetric digest, next.
+//
+//hotpath:allocfree
 func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*linalg.Matrix, j *linalg.Matrix, s *ERIScratch) int {
 	shells := w.Basis.Shells
 	if cap(s.kAcc) < len(ks) {
@@ -327,14 +408,8 @@ func (w *FockWorkload) executeTask(t *FockTask, dj *linalg.Matrix, ks, dks []*li
 	var done int
 	for bi, bra := range t.BraPairs {
 		braPD := w.pairData[t.PairOffset+bi]
-		for ki := range w.Pairs {
-			if t.PairOffset+bi < ki {
-				break // pairs are sorted by pairIndex; ket index exceeds bra's
-			}
+		for _, ki := range t.Kets[bi] {
 			ket := &w.Pairs[ki]
-			if bra.Bound*ket.Bound < w.Threshold {
-				continue
-			}
 			blk := ERIBlockPairInto(braPD, w.pairData[ki], s)
 			digestUniqueQuartetStrides(j, dj, ks, dks, kAcc, shells, bra.I, bra.J, ket.I, ket.J, blk)
 			done++

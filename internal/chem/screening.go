@@ -40,6 +40,16 @@ func SchwarzBounds(bs *BasisSet) []ShellPair {
 	return pairs
 }
 
+// quartetSurvives reports whether the unique quartet formed by bra and
+// ket clears the Schwarz bound: |(ij|kl)| <= Q_ij Q_kl, so the quartet
+// is negligible when the product of pair bounds falls below threshold.
+// This is the single screening predicate of the Fock build — it runs at
+// task-generation time (FockWorkload.blockTasks) and in the retained
+// baseline executor, never in the arena-path workers.
+func quartetSurvives(bra, ket *ShellPair, threshold float64) bool {
+	return bra.Bound*ket.Bound >= threshold
+}
+
 // SignificantPairs filters pairs, keeping those whose bound multiplied by
 // the largest bound could still exceed threshold — i.e. pairs that can
 // contribute to at least one surviving quartet.

@@ -1,0 +1,158 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+// maxAbsBlock returns max |element| of an ERI shell-quartet block.
+func maxAbsBlock(blk []float64) float64 {
+	var mx float64
+	for _, v := range blk {
+		if v = math.Abs(v); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// schwarzViolation checks every shell quartet of bs against its claimed
+// Cauchy–Schwarz bound: max |(ab|cd)| must not exceed Q_ab * Q_cd beyond
+// floating-point slack. The inequality is exact in real arithmetic, so
+// any real violation means screening could prune a non-negligible
+// quartet — the one failure mode Schwarz screening must never have.
+func schwarzViolation(t *testing.T, bs *BasisSet) {
+	t.Helper()
+	pairs := SchwarzBounds(bs)
+	n := len(bs.Shells)
+	bound := make([][]float64, n)
+	for i := range bound {
+		bound[i] = make([]float64, n)
+	}
+	for _, p := range pairs {
+		bound[p.I][p.J] = p.Bound
+		bound[p.J][p.I] = p.Bound
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				for d := 0; d < n; d++ {
+					q := bound[a][b] * bound[c][d]
+					mx := maxAbsBlock(ERIBlock(&bs.Shells[a], &bs.Shells[b], &bs.Shells[c], &bs.Shells[d]))
+					// Relative slack for roundoff in the bound product and
+					// the block itself; absolute floor for near-zero blocks.
+					if mx > q*(1+1e-9)+1e-13 {
+						t.Errorf("quartet (%d %d|%d %d): |block| = %g exceeds Schwarz bound %g",
+							a, b, c, d, mx, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzSchwarzBound drives schwarzViolation over randomized geometries and
+// both library basis sets: no quartet the bound would screen out may
+// carry weight above the threshold (no false pruning), because the bound
+// itself must dominate the exactly computed block.
+func FuzzSchwarzBound(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(-3), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8) {
+		var mol *Molecule
+		switch shape % 4 {
+		case 0:
+			mol = RandomCluster(2, []int{1, 8}, seed)
+		case 1:
+			mol = RandomCluster(3, []int{1, 1, 6}, seed)
+		case 2:
+			mol = WaterCluster(1, seed)
+		default:
+			// Stretched/compressed H2 exercises near-degenerate pairs.
+			r := 0.5 + float64(uint64(seed)%400)/100
+			mol = H2(r)
+		}
+		basis := "sto-3g"
+		if shape&4 != 0 {
+			basis = "6-31g"
+		}
+		bs, err := NewBasis(basis, mol)
+		if err != nil {
+			t.Skipf("basis %s unavailable for fuzz molecule: %v", basis, err)
+		}
+		if len(bs.Shells) > 12 {
+			t.Skip("fuzz case too large for the N^4 sweep")
+		}
+		schwarzViolation(t, bs)
+	})
+}
+
+// TestSchwarzNoFalsePruning is the deterministic statement of the fuzz
+// property at the workload level: every unique quartet the generation-time
+// screening dropped (absent from all Kets lists) must have an exactly
+// computed block norm below the threshold.
+func TestSchwarzNoFalsePruning(t *testing.T) {
+	mol := WaterCluster(2, 11)
+	bs, err := NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const thr = 1e-6
+	w := BuildFockWorkload(bs, thr, 4)
+
+	kept := map[[2]int]bool{}
+	for _, task := range w.Tasks {
+		for bi := range task.BraPairs {
+			for _, ki := range task.Kets[bi] {
+				kept[[2]int{task.PairOffset + bi, int(ki)}] = true
+			}
+		}
+	}
+	var pruned, checked int
+	for bi := range w.Pairs {
+		for ki := 0; ki <= bi; ki++ {
+			if kept[[2]int{bi, ki}] {
+				continue
+			}
+			pruned++
+			bra, ket := w.Pairs[bi], w.Pairs[ki]
+			mx := maxAbsBlock(ERIBlock(
+				&bs.Shells[bra.I], &bs.Shells[bra.J],
+				&bs.Shells[ket.I], &bs.Shells[ket.J]))
+			checked++
+			if mx >= thr {
+				t.Errorf("pruned quartet (%d%d|%d%d) has |block| = %g >= threshold %g",
+					bra.I, bra.J, ket.I, ket.J, mx, thr)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("test is vacuous: screening pruned nothing at threshold 1e-6")
+	}
+	t.Logf("verified %d pruned quartets all below %g", checked, thr)
+}
+
+// The screening predicate itself: the workload must drop exactly the
+// quartets whose bound product is below threshold, and tightening the
+// threshold must shrink the surviving set monotonically.
+func TestScreeningMonotonic(t *testing.T) {
+	mol := WaterCluster(2, 11)
+	bs, err := NewBasis("sto-3g", mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, thr := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 0} {
+		st := BuildFockWorkload(bs, thr, 4).Stats()
+		if prev >= 0 && st.Surviving < prev {
+			t.Errorf("surviving quartets dropped from %d to %d as threshold loosened to %g",
+				prev, st.Surviving, thr)
+		}
+		prev = st.Surviving
+	}
+	if st := BuildFockWorkload(bs, 0, 4).Stats(); st.Surviving != st.UniqueQuartets {
+		t.Errorf("threshold 0 survives %d of %d unique quartets", st.Surviving, st.UniqueQuartets)
+	}
+}

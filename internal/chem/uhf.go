@@ -19,7 +19,20 @@ type UHFOptions struct {
 	NoDamping    bool    // force damping off
 	UseDIIS      bool    // Pulay DIIS on the combined (Fα, Fβ) error vector
 	DIISVectors  int     // subspace size (default 6)
+
+	// Builder, if non-nil, computes each iteration's J/Kα/Kβ matrices in
+	// place of the serial task loop — the hook the wall-clock parallel
+	// executors plug into (core.ParallelUHFFockBuilder), mirroring
+	// RunSCF's FockBuilder parameter.
+	Builder UHFFockBuilder
 }
+
+// UHFFockBuilder computes the Coulomb matrix (contracted against the
+// total density) and the per-spin exchange matrices (against dA and dB)
+// for one unrestricted Fock build. Implementations must be equivalent to
+// the serial ExecuteTaskSpin sweep up to floating-point accumulation
+// order.
+type UHFFockBuilder func(w *FockWorkload, dTot, dA, dB *linalg.Matrix) (j, kA, kB *linalg.Matrix)
 
 func (o *UHFOptions) setDefaults(nElectrons int) error {
 	if o.Multiplicity == 0 {
@@ -113,11 +126,16 @@ func RunUHF(mol *Molecule, bs *BasisSet, opts UHFOptions) (*UHFResult, error) {
 		dTot := dA.Clone()
 		dTot.AddScaled(1, dB)
 
-		j := linalg.NewMatrix(n, n)
-		kA := linalg.NewMatrix(n, n)
-		kB := linalg.NewMatrix(n, n)
-		for i := range w.Tasks {
-			w.ExecuteTaskSpinScratch(&w.Tasks[i], dTot, dA, dB, j, kA, kB, scratch)
+		var j, kA, kB *linalg.Matrix
+		if opts.Builder != nil {
+			j, kA, kB = opts.Builder(w, dTot, dA, dB)
+		} else {
+			j = linalg.NewMatrix(n, n)
+			kA = linalg.NewMatrix(n, n)
+			kB = linalg.NewMatrix(n, n)
+			for i := range w.Tasks {
+				w.ExecuteTaskSpinScratch(&w.Tasks[i], dTot, dA, dB, j, kA, kB, scratch)
+			}
 		}
 		fA := h.Clone()
 		fA.AddScaled(1, j)

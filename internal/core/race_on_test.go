@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under -race (instrumentation perturbs alloc counts) and the
+// differential matrix shrinks its expensive cells.
+const raceEnabled = true

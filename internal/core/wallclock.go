@@ -25,6 +25,20 @@ type WallResult struct {
 	CounterOps int64           // NXTVAL fetches (dynamic mode)
 }
 
+// WallSpinResult is the unrestricted counterpart: the merged J/Kα/Kβ
+// matrices of one parallel spin Fock build, with the same executor
+// telemetry as WallResult. The caller (chem.RunUHF via
+// ParallelUHFFockBuilder) assembles the two spin Fock matrices.
+type WallSpinResult struct {
+	J, KA, KB  *linalg.Matrix
+	Elapsed    time.Duration
+	WorkerBusy []time.Duration
+	Steals     int64
+	StealRetry int64
+	StealSeed  int64
+	CounterOps int64
+}
+
 // LoadImbalance returns max/mean worker busy time.
 func (r *WallResult) LoadImbalance() float64 {
 	var sum, mx time.Duration
@@ -40,27 +54,55 @@ func (r *WallResult) LoadImbalance() float64 {
 	return float64(mx) / (float64(sum) / float64(len(r.WorkerBusy)))
 }
 
-// wallRun drives the shared scaffolding of all wall-clock executors: it
-// spawns workers, each pulling task indices from nextTask until exhausted,
-// digesting into worker-private J/K (through a worker-private scratch
-// arena, so the steady-state loop allocates nothing) and accumulating
-// into shared arrays at the end.
+// wallCounters is the scheduler telemetry every wall-clock schedule
+// reports after a run; schedules that lack a counter leave it zero.
+type wallCounters struct {
+	steals, retries, seed, counterOps int64
+}
+
+// wallSched is one wall-clock scheduling discipline: next hands worker wk
+// its next task index (invoked only from worker wk's goroutine, so
+// per-worker state needs no synchronization), counters reports the
+// telemetry accumulated over the run.
+type wallSched interface {
+	next(wk int) (int, bool)
+	counters() wallCounters
+}
+
+// wallAccum is one worker's slot in the shared accumulator table: the
+// worker-private J/K accumulator (with its scratch arena) plus the busy
+// stopwatch the worker bumps after every task. Workers write only their
+// own slot, but slots are adjacent in one slice, so each is padded to a
+// cache line — otherwise every busy update would false-share with the
+// neighbouring workers' slots.
 //
-// nextTask is invoked only from worker wk's goroutine for a given wk, so
-// per-worker scheduling state needs no synchronization — but distinct
-// workers' state should live on distinct cache lines (see padCell).
-// Per-worker busy time is accumulated in a goroutine-local variable and
-// merged into the shared slice once, after the task loop, so the hot loop
-// never writes adjacent elements of a shared array.
-func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
-	nextTask func(worker int) (int, bool)) *WallResult {
+//hotpath:padded
+type wallAccum struct {
+	acc  *chem.JKAccum
+	busy time.Duration
+	_    [48]byte
+}
+
+// wallRunJK drives the shared scaffolding of all wall-clock executors: it
+// spawns workers, each pulling task indices from sched until exhausted and
+// digesting into its own wallAccum slot (through a worker-private scratch
+// arena, so the steady-state loop allocates nothing). The per-worker
+// accumulators are folded into the returned J/K matrices only after
+// wg.Wait, in worker order — no concurrent writes to shared matrices
+// anywhere, and the merge order is deterministic for a fixed worker
+// count. dj feeds the Coulomb contraction; dkA (and dkB when spin) feed
+// exchange.
+func wallRunJK(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix, spin bool,
+	workers int, sched wallSched) (j, kA, kB *linalg.Matrix, elapsed time.Duration, busy []time.Duration) {
 	if workers < 1 {
 		panic(fmt.Sprintf("core: workers = %d", workers))
 	}
-	n := fw.Basis.NBF
-	jArr := ga.NewArray(n, n, workers)
-	kArr := ga.NewArray(n, n, workers)
-	busy := make([]time.Duration, workers)
+	// Cold start: worker accumulators and scratch arenas are allocated
+	// before the clock starts, outside the proved-allocation-free loop.
+	slots := make([]wallAccum, workers)
+	for wk := range slots {
+		slots[wk].acc = fw.NewJKAccum(spin)
+	}
 
 	sw := startStopwatch()
 	var wg sync.WaitGroup
@@ -68,49 +110,62 @@ func wallRun(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int,
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			// Cold start: the worker-private matrices and scratch arena
-			// are allocated here, outside the proved-allocation-free
-			// steady-state loop.
-			jLoc := linalg.NewMatrix(n, n)
-			kLoc := linalg.NewMatrix(n, n)
-			scratch := fw.NewScratch()
-			busyLoc := wallWorkerLoop(fw, d, jLoc, kLoc, scratch, wk, nextTask)
-			jArr.Acc(0, 0, n, n, jLoc.Data, 1)
-			kArr.Acc(0, 0, n, n, kLoc.Data, 1)
-			busy[wk] = busyLoc // one write per worker; visibility via wg.Wait
+			wallWorkerLoop(fw, dj, dkA, dkB, &slots[wk], wk, sched.next)
 		}(wk)
 	}
 	wg.Wait()
-	elapsed := sw.elapsed()
+	elapsed = sw.elapsed()
 
-	f := h.Clone()
-	f.AddScaled(1, jArr.ToMatrix())
-	f.AddScaled(-0.5, kArr.ToMatrix())
-	f.Symmetrize()
-	return &WallResult{F: f, Elapsed: elapsed, WorkerBusy: busy}
+	n := fw.Basis.NBF
+	j = linalg.NewMatrix(n, n)
+	kA = linalg.NewMatrix(n, n)
+	if spin {
+		kB = linalg.NewMatrix(n, n)
+	}
+	busy = make([]time.Duration, workers)
+	for wk := range slots {
+		slots[wk].acc.MergeInto(j, kA, kB)
+		busy[wk] = slots[wk].busy
+	}
+	return j, kA, kB, elapsed, busy
 }
 
 // wallWorkerLoop is the steady-state body of every wall-clock worker:
-// pull a task index, digest it into the worker-private J/K through the
-// worker-private scratch arena, account the busy time. This is the loop
-// the paper's execution-model comparison times, so it must not allocate
-// — the arena makes the digestion allocation-free after warm-up, and the
-// allocfree check proves it for every schedule implementation.
+// pull a task index, digest it into the worker's own accumulator slot,
+// account the busy time. This is the loop the paper's execution-model
+// comparison times, so it must not allocate — the arena-backed
+// accumulator makes the digestion allocation-free after warm-up, and the
+// allocfree check proves it for every schedule implementation. Screening
+// never appears here: the task's quartet multiset was resolved into Kets
+// lists at generation time.
 //
 //hotpath:allocfree
-func wallWorkerLoop(fw *chem.FockWorkload, d, jLoc, kLoc *linalg.Matrix,
-	scratch *chem.ERIScratch, wk int, nextTask func(worker int) (int, bool)) time.Duration {
-	var busy time.Duration
+func wallWorkerLoop(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix,
+	slot *wallAccum, wk int, nextTask func(worker int) (int, bool)) {
 	for {
 		//lint:ignore allocfree indirect dispatch: every nextTask implementation (wallStaticSched, wallDynSched, wallStealSched .next) is itself an annotated allocfree root
 		id, ok := nextTask(wk)
 		if !ok {
-			return busy
+			return
 		}
 		t0 := startStopwatch()
-		fw.ExecuteTaskScratch(&fw.Tasks[id], d, jLoc, kLoc, scratch)
-		busy += t0.elapsed()
+		fw.ExecuteTaskAccum(&fw.Tasks[id], dj, dkA, dkB, slot.acc)
+		slot.busy += t0.elapsed()
 	}
+}
+
+// wallBuild runs one restricted Fock build through sched and assembles
+// F = H + J − K/2 from the merged accumulators.
+func wallBuild(sched wallSched, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
+	j, k, _, elapsed, busy := wallRunJK(fw, d, d, nil, false, workers, sched)
+	f := h.Clone()
+	f.AddScaled(1, j)
+	f.AddScaled(-0.5, k)
+	f.Symmetrize()
+	res := &WallResult{F: f, Elapsed: elapsed, WorkerBusy: busy}
+	c := sched.counters()
+	res.Steals, res.StealRetry, res.StealSeed, res.CounterOps = c.steals, c.retries, c.seed, c.counterOps
+	return res
 }
 
 // padCell is a per-worker counter padded to a 64-byte cache line:
@@ -151,6 +206,10 @@ type wallStaticSched struct {
 	cursors []padCell
 }
 
+func newWallStaticSched(n, workers int) *wallStaticSched {
+	return &wallStaticSched{n: n, per: (n + workers - 1) / workers, cursors: make([]padCell, workers)}
+}
+
 // next implements the static schedule for worker wk.
 //
 //hotpath:allocfree
@@ -167,12 +226,12 @@ func (s *wallStaticSched) next(wk int) (int, bool) {
 	return lo + c, true
 }
 
+func (s *wallStaticSched) counters() wallCounters { return wallCounters{} }
+
 // WallStatic executes the Fock build with a static block schedule on real
 // goroutines.
 func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
-	n := len(fw.Tasks)
-	s := &wallStaticSched{n: n, per: (n + workers - 1) / workers, cursors: make([]padCell, workers)}
-	return wallRun(fw, h, d, workers, s.next)
+	return wallBuild(newWallStaticSched(len(fw.Tasks), workers), fw, h, d, workers)
 }
 
 // wallDynSched serves blocks of consecutive tasks from a shared atomic
@@ -181,6 +240,13 @@ type wallDynSched struct {
 	counter  ga.Counter
 	n, block int64
 	spans    []dynSpan
+}
+
+func newWallDynSched(n, workers, block int) *wallDynSched {
+	if block < 1 {
+		block = 1
+	}
+	return &wallDynSched{n: int64(n), block: int64(block), spans: make([]dynSpan, workers)}
 }
 
 // next implements the dynamic-counter schedule for worker wk.
@@ -205,18 +271,14 @@ func (s *wallDynSched) next(wk int) (int, bool) {
 	return int(lo), true
 }
 
+func (s *wallDynSched) counters() wallCounters { return wallCounters{counterOps: s.counter.Ops()} }
+
 // WallDynamic executes the Fock build pulling blocks of `block`
 // consecutive tasks from a shared atomic counter (NXTVAL with a chunk
 // size, as the simulated dynamic-counter model's F3 sweep studies).
 // block < 1 is treated as 1, the classic one-task-per-fetch NXTVAL.
 func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int) *WallResult {
-	if block < 1 {
-		block = 1
-	}
-	s := &wallDynSched{n: int64(len(fw.Tasks)), block: int64(block), spans: make([]dynSpan, workers)}
-	res := wallRun(fw, h, d, workers, s.next)
-	res.CounterOps = s.counter.Ops()
-	return res
+	return wallBuild(newWallDynSched(len(fw.Tasks), workers, block), fw, h, d, workers)
 }
 
 // Backoff schedule for idle thieves: a few yielded retries, then sleeps
@@ -236,8 +298,30 @@ const (
 type wallStealSched struct {
 	deques                     []*deque.Deque
 	workers                    int
+	seed                       int64
 	remaining, steals, retries atomicInt64Pad
 	rngs                       []*rand.Rand
+}
+
+func newWallStealSched(n, workers int, seed int64) *wallStealSched {
+	s := &wallStealSched{deques: make([]*deque.Deque, workers), workers: workers, seed: seed}
+	for wk := range s.deques {
+		s.deques[wk] = new(deque.Deque)
+	}
+	per := (n + workers - 1) / workers
+	for i := 0; i < n; i++ {
+		r := i / per
+		if r >= workers {
+			r = workers - 1
+		}
+		s.deques[r].Push(i)
+	}
+	s.remaining.Store(int64(n))
+	s.rngs = make([]*rand.Rand, workers)
+	for wk := range s.rngs {
+		s.rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
+	}
+	return s
 }
 
 // next implements the work-stealing schedule for worker wk.
@@ -283,34 +367,15 @@ func (s *wallStealSched) next(wk int) (int, bool) {
 	}
 }
 
+func (s *wallStealSched) counters() wallCounters {
+	return wallCounters{steals: s.steals.Load(), retries: s.retries.Load(), seed: s.seed}
+}
+
 // WallStealing executes the Fock build with per-worker deques and
 // steal-half work stealing on real goroutines. seed drives the
 // per-worker victim-selection RNG streams.
 func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed int64) *WallResult {
-	n := len(fw.Tasks)
-	s := &wallStealSched{deques: make([]*deque.Deque, workers), workers: workers}
-	for wk := range s.deques {
-		s.deques[wk] = new(deque.Deque)
-	}
-	per := (n + workers - 1) / workers
-	for i := 0; i < n; i++ {
-		r := i / per
-		if r >= workers {
-			r = workers - 1
-		}
-		s.deques[r].Push(i)
-	}
-	s.remaining.Store(int64(n))
-	s.rngs = make([]*rand.Rand, workers)
-	for wk := range s.rngs {
-		s.rngs[wk] = rand.New(rand.NewSource(seed + int64(wk)))
-	}
-
-	res := wallRun(fw, h, d, workers, s.next)
-	res.Steals = s.steals.Load()
-	res.StealRetry = s.retries.Load()
-	res.StealSeed = seed
-	return res
+	return wallBuild(newWallStealSched(len(fw.Tasks), workers, seed), fw, h, d, workers)
 }
 
 // WallOptions carries the tunables of the wall-clock executors that
@@ -318,37 +383,100 @@ func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed 
 type WallOptions struct {
 	Seed  int64 // work-stealing victim-selection seed
 	Block int   // dynamic-counter tasks per NXTVAL fetch (<1 means 1)
+
+	// PairBlock, when > 0, re-blocks each workload to tasks of PairBlock
+	// bra shell-pairs before executing (chem.Reblock — screening data and
+	// Hermite tables are shared, so this costs only task bookkeeping).
+	// 0 keeps the workload's own decomposition.
+	PairBlock int
 }
 
-// wallExec dispatches one wall-clock Fock build by mode name. It is the
-// single point where ParallelFockBuilder's options meet the executors —
-// no literal seeds or block sizes may appear here (regression-tested).
-func wallExec(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, opt WallOptions) (*WallResult, error) {
+// newWallSched builds the scheduling discipline for one wall-clock run.
+// It is the single point where options meet the executors — no literal
+// seeds or block sizes may appear here (regression-tested).
+func newWallSched(mode string, n, workers int, opt WallOptions) (wallSched, error) {
 	switch mode {
 	case "static":
-		return WallStatic(fw, h, d, workers), nil
+		return newWallStaticSched(n, workers), nil
 	case "dynamic":
-		return WallDynamic(fw, h, d, workers, opt.Block), nil
+		return newWallDynSched(n, workers, opt.Block), nil
 	case "stealing":
-		return WallStealing(fw, h, d, workers, opt.Seed), nil
+		return newWallStealSched(n, workers, opt.Seed), nil
 	default:
 		return nil, fmt.Errorf("core: unknown wall-clock mode %q", mode)
 	}
+}
+
+// wallExec dispatches one wall-clock Fock build by mode name.
+func wallExec(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, opt WallOptions) (*WallResult, error) {
+	sched, err := newWallSched(mode, len(fw.Tasks), workers, opt)
+	if err != nil {
+		return nil, err
+	}
+	return wallBuild(sched, fw, h, d, workers), nil
+}
+
+// WallUHF runs one unrestricted parallel Fock build: J contracted against
+// the total density, Kα/Kβ against the spin densities, through the same
+// scheduler implementations and the same allocation-free worker loop as
+// the restricted executors (the spin shape is a dispatch inside
+// chem.ExecuteTaskAccum, not a separate loop).
+func WallUHF(mode string, fw *chem.FockWorkload, dTot, dA, dB *linalg.Matrix, workers int, opt WallOptions) (*WallSpinResult, error) {
+	sched, err := newWallSched(mode, len(fw.Tasks), workers, opt)
+	if err != nil {
+		return nil, err
+	}
+	j, kA, kB, elapsed, busy := wallRunJK(fw, dTot, dA, dB, true, workers, sched)
+	res := &WallSpinResult{J: j, KA: kA, KB: kB, Elapsed: elapsed, WorkerBusy: busy}
+	c := sched.counters()
+	res.Steals, res.StealRetry, res.StealSeed, res.CounterOps = c.steals, c.retries, c.seed, c.counterOps
+	return res, nil
+}
+
+// reblockCache memoizes WallOptions.PairBlock re-blocking per source
+// workload, so an SCF run re-blocks once, not once per iteration. The
+// builders that hold one are invoked sequentially (one Fock build per SCF
+// iteration), so no locking is needed.
+type reblockCache struct {
+	src, dst *chem.FockWorkload
+}
+
+func (c *reblockCache) get(fw *chem.FockWorkload, block int) *chem.FockWorkload {
+	if block < 1 {
+		return fw
+	}
+	if c.src != fw {
+		c.src, c.dst = fw, fw.Reblock(block)
+	}
+	return c.dst
 }
 
 // ParallelFockBuilder returns a chem.FockBuilder that runs every Fock
 // build of an SCF iteration through the given wall-clock executor. mode
-// is "static", "dynamic" or "stealing"; opt supplies the stealing seed
-// and the dynamic fetch block.
+// is "static", "dynamic" or "stealing"; opt supplies the stealing seed,
+// the dynamic fetch block and the bra-pair task granularity.
 func ParallelFockBuilder(mode string, workers int, opt WallOptions) (chem.FockBuilder, error) {
 	// Validate eagerly so a typo fails at setup, not mid-SCF.
-	switch mode {
-	case "static", "dynamic", "stealing":
-	default:
-		return nil, fmt.Errorf("core: unknown wall-clock mode %q", mode)
+	if _, err := newWallSched(mode, 0, 1, opt); err != nil {
+		return nil, err
 	}
+	var cache reblockCache
 	return func(fw *chem.FockWorkload, h, d *linalg.Matrix) *linalg.Matrix {
-		res, _ := wallExec(mode, fw, h, d, workers, opt)
+		res, _ := wallExec(mode, cache.get(fw, opt.PairBlock), h, d, workers, opt)
 		return res.F
+	}, nil
+}
+
+// ParallelUHFFockBuilder is ParallelFockBuilder's unrestricted
+// counterpart: a chem.UHFFockBuilder that computes each UHF iteration's
+// J/Kα/Kβ through the given wall-clock executor.
+func ParallelUHFFockBuilder(mode string, workers int, opt WallOptions) (chem.UHFFockBuilder, error) {
+	if _, err := newWallSched(mode, 0, 1, opt); err != nil {
+		return nil, err
+	}
+	var cache reblockCache
+	return func(fw *chem.FockWorkload, dTot, dA, dB *linalg.Matrix) (j, kA, kB *linalg.Matrix) {
+		res, _ := WallUHF(mode, cache.get(fw, opt.PairBlock), dTot, dA, dB, workers, opt)
+		return res.J, res.KA, res.KB
 	}, nil
 }
