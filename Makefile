@@ -14,18 +14,20 @@ test:
 race:
 	go test -race ./...
 
-# Repo-specific static analysis, all ten checks: the syntactic
+# Repo-specific static analysis, all thirteen checks: the syntactic
 # determinism, guardedby, lockbalance and floateq; the interprocedural
-# clocktaint, maporder and lockset; and the hot-path proofs allocfree,
-# goleak and padcheck (see internal/lint, internal/lint/dataflow and
-# cmd/execlint). -stale-suppressions also fails the run on any
-# //lint:ignore directive that no longer suppresses anything.
+# clocktaint, maporder and lockset; the hot-path proofs allocfree,
+# goleak and padcheck; and the race-freedom proofs shareiso,
+# atomicdiscipline and ctxcancel (see internal/lint,
+# internal/lint/dataflow and cmd/execlint). -stale-suppressions also
+# fails the run on any //lint:ignore directive that no longer
+# suppresses anything.
 lint:
 	go run ./cmd/execlint -stale-suppressions ./...
 
 # The linter's own determinism: diagnostics must be sorted, never
 # map-ordered, so two consecutive runs are byte-identical — for the full
-# suite and for the three hot-path analyzers run on their own (their
+# suite and for every analyzer selected explicitly by name (their
 # call-graph walks and layout maps must not leak map order either).
 # `|| true` keeps a findings-bearing tree comparable; lint-determinism
 # checks stability, `lint` checks cleanliness.
@@ -33,8 +35,8 @@ lint-determinism:
 	go run ./cmd/execlint -json ./... > execlint_run1.json || true
 	go run ./cmd/execlint -json ./... > execlint_run2.json || true
 	diff execlint_run1.json execlint_run2.json
-	go run ./cmd/execlint -json -analyzer allocfree,goleak,padcheck ./... > execlint_run1.json || true
-	go run ./cmd/execlint -json -analyzer allocfree,goleak,padcheck ./... > execlint_run2.json || true
+	go run ./cmd/execlint -json -analyzer determinism,guardedby,lockbalance,floateq,clocktaint,maporder,lockset,allocfree,goleak,padcheck,shareiso,atomicdiscipline,ctxcancel ./... > execlint_run1.json || true
+	go run ./cmd/execlint -json -analyzer determinism,guardedby,lockbalance,floateq,clocktaint,maporder,lockset,allocfree,goleak,padcheck,shareiso,atomicdiscipline,ctxcancel ./... > execlint_run2.json || true
 	diff execlint_run1.json execlint_run2.json
 	rm -f execlint_run1.json execlint_run2.json
 

@@ -1,10 +1,16 @@
 // Command execlint runs the repository's static-analysis suite: the
 // syntactic determinism, guardedby, lockbalance and floateq checks, the
 // interprocedural clocktaint, maporder and lockset checks built on the
-// internal/lint/dataflow summary engine, and the hot-path proofs —
+// internal/lint/dataflow summary engine, the hot-path proofs —
 // allocfree (//hotpath:allocfree call chains must not allocate), goleak
 // (every go statement needs a completion edge) and padcheck
-// (//hotpath:padded structs stay cache-line aligned). See internal/lint.
+// (//hotpath:padded structs stay cache-line aligned) — and the static
+// race-freedom proofs: shareiso (//hotpath:isolated state is written
+// only by its owning goroutine, cross-goroutine reads need a proven
+// happens-before edge), atomicdiscipline (a word accessed via
+// sync/atomic anywhere is accessed atomically everywhere; typed atomics
+// are never copied) and ctxcancel (blocking operations on HTTP request
+// paths select on ctx.Done() or a deadline). See internal/lint.
 //
 // Usage:
 //

@@ -8,9 +8,12 @@ import "execmodels/internal/linalg"
 // the steady-state Fock build performs zero heap allocations per task.
 //
 // A scratch is not safe for concurrent use; each worker goroutine owns
-// its own (see core.wallRun). The zero value works and grows on demand,
-// but NewERIScratch pre-sizes everything so even the first task is
-// allocation-free.
+// its own (see core.wallRun) — the shareiso check proves no scratch
+// crosses a goroutine boundary without a happens-before edge. The zero
+// value works and grows on demand, but NewERIScratch pre-sizes
+// everything so even the first task is allocation-free.
+//
+//hotpath:isolated
 type ERIScratch struct {
 	blk  []float64 // ERI shell-quartet block buffer
 	kAcc []float64 // per-σ exchange accumulators (one per K matrix)

@@ -74,9 +74,13 @@ type wallSched interface {
 // stopwatch the worker bumps after every task. Workers write only their
 // own slot, but slots are adjacent in one slice, so each is padded to a
 // cache line — otherwise every busy update would false-share with the
-// neighbouring workers' slots.
+// neighbouring workers' slots. The shareiso check proves the ownership
+// half of that sentence: each slot is touched only through its owning
+// worker's index, and the spawner reads the slots back only after
+// wg.Wait.
 //
 //hotpath:padded
+//hotpath:isolated
 type wallAccum struct {
 	acc  *chem.JKAccum
 	busy time.Duration
@@ -172,18 +176,21 @@ func wallBuild(sched wallSched, fw *chem.FockWorkload, h, d *linalg.Matrix, work
 // adjacent workers' hot scheduling words must not share a line, or every
 // cursor bump invalidates the neighbours' caches (false sharing). Each
 // cell is read and written only by its owning worker goroutine, so no
-// atomics are needed.
+// atomics are needed — an invariant the shareiso check enforces.
 //
 //hotpath:padded
+//hotpath:isolated
 type padCell struct {
 	n int64
 	_ [56]byte
 }
 
 // dynSpan is the per-worker [next, hi) range of a block fetched from the
-// shared counter, padded like padCell.
+// shared counter, padded like padCell and goroutine-owned like padCell
+// (shareiso-checked).
 //
 //hotpath:padded
+//hotpath:isolated
 type dynSpan struct {
 	next, hi int64
 	_        [48]byte

@@ -1,0 +1,411 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file extends the summary engine with the two concurrency facts the
+// race-freedom analyzers need:
+//
+//   - goroutine-spawn summaries: a `go` statement creates an ownership
+//     domain — the set of variables that escape into the new goroutine —
+//     and carries the goroutine's completion edges (reusing the
+//     completion-edge discovery goleak is built on);
+//   - happens-before orderings: the consumer-side operations that order a
+//     goroutine's effects before the observer — wg.Wait, a channel
+//     receive (including range-over-channel), and mutex Lock/Unlock.
+//
+// Both are computed by the same bottom-up fixpoint over the call graph as
+// taint and completion summaries, so `launch(&wg, slots)` three helpers
+// deep still reports a spawn capturing the caller's slots, and a
+// `join(&wg)` helper still counts as the caller's wg.Wait. Summaries are
+// re-rooted at each call site's arguments; like completion summaries
+// they keep the original site's Pos/Desc so recursion converges, while
+// the Site* forms expose the position *in the analyzed body* (`At`) so
+// analyzers can reason lexically about spawn → access → join order.
+
+// OrderKind classifies a happens-before edge as seen from the observer
+// (consumer) side.
+type OrderKind string
+
+const (
+	// OrderWait: sync.WaitGroup.Wait — everything the counted goroutines
+	// did before their Done is visible after Wait returns.
+	OrderWait OrderKind = "wg.Wait"
+	// OrderRecv: a channel receive or range-over-channel — the sender's
+	// (or closer's) prior writes are visible to the receiver.
+	OrderRecv OrderKind = "recv"
+	// OrderLock / OrderUnlock: sync.Mutex/RWMutex Lock and Unlock — a
+	// release ordered before the next acquire of the same mutex.
+	OrderLock   OrderKind = "lock"
+	OrderUnlock OrderKind = "unlock"
+)
+
+// Ordering is one happens-before edge a function performs, as seen by
+// its callers. Root is the parameter index carrying the
+// WaitGroup/channel/mutex (recvParam, globalRoot or localRoot like
+// completion roots).
+type Ordering struct {
+	Kind OrderKind
+	Desc string
+	Pos  token.Position
+	Root int
+}
+
+// SiteOrdering is an ordering observed inside a concrete body. At is the
+// position in that body (the operation itself, or the call site for
+// edges inherited from a callee); RootObj is the variable object rooting
+// the edge, nil when no single variable roots it.
+type SiteOrdering struct {
+	Ordering
+	At      token.Pos
+	RootObj types.Object
+}
+
+// Orderings computes happens-before summaries for every indexed function
+// by bottom-up fixpoint, so a join helper that calls wg.Wait on a
+// parameter counts as the caller's join.
+func (e *Engine) Orderings() map[string][]Ordering {
+	sums := map[string][]Ordering{}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, id := range e.ids {
+			f := e.funcs[id]
+			params, _, _ := paramObjects(f.Pkg, f.Decl)
+			var next []Ordering
+			seen := map[string]bool{}
+			for _, so := range e.BodyOrderings(f.Pkg, params, f.Decl.Body, sums) {
+				k := string(so.Kind) + "|" + so.Pos.String() + "|" + so.Desc
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, so.Ordering)
+				}
+			}
+			sort.Slice(next, func(i, j int) bool {
+				if next[i].Pos.Offset != next[j].Pos.Offset {
+					return next[i].Pos.Offset < next[j].Pos.Offset
+				}
+				return next[i].Desc < next[j].Desc
+			})
+			if len(next) > len(sums[id]) {
+				sums[id] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// BodyOrderings returns the happens-before edges of one statement
+// subtree, including those reached through calls into summarized
+// functions.
+func (e *Engine) BodyOrderings(pkg *Pkg, params map[types.Object]int, body ast.Node, sums map[string][]Ordering) []SiteOrdering {
+	var out []SiteOrdering
+	if body == nil {
+		return nil
+	}
+	add := func(at token.Pos, o Ordering, rootExpr ast.Expr) {
+		root, obj := localRoot, types.Object(nil)
+		if rootExpr != nil {
+			if r, ro, ok := rootOf(pkg, params, rootExpr); ok {
+				root, obj = r, ro
+			}
+		}
+		o.Root = root
+		out = append(out, SiteOrdering{Ordering: o, At: at, RootObj: obj})
+	}
+	pos := func(n ast.Node) token.Position { return pkg.Fset.Position(n.Pos()) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				add(x.Pos(), Ordering{Kind: OrderRecv, Desc: "receives from " + exprString(x.X), Pos: pos(x)}, x.X)
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(pkg, x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					add(x.Pos(), Ordering{Kind: OrderRecv, Desc: "ranges over channel " + exprString(x.X), Pos: pos(x)}, x.X)
+				}
+			}
+		case *ast.CallExpr:
+			obj, callee, recv := e.Callee(pkg, x)
+			switch {
+			case obj != nil && IsWaitGroupWait(obj):
+				add(x.Pos(), Ordering{Kind: OrderWait, Desc: exprString(recv) + ".Wait()", Pos: pos(x)}, recv)
+			case obj != nil && isMutexMethod(obj, "Lock"):
+				add(x.Pos(), Ordering{Kind: OrderLock, Desc: exprString(recv) + ".Lock()", Pos: pos(x)}, recv)
+			case obj != nil && isMutexMethod(obj, "Unlock"):
+				add(x.Pos(), Ordering{Kind: OrderUnlock, Desc: exprString(recv) + ".Unlock()", Pos: pos(x)}, recv)
+			case callee != nil && sums != nil:
+				for _, o := range sums[callee.ID] {
+					add(x.Pos(), o, rerootExpr(o.Root, x, recv))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// GoSpawn is one goroutine spawn a function performs — directly or
+// through callees — as seen by its callers: which of the function's
+// parameters escape into the goroutine's ownership domain, and the
+// goroutine's completion edges (by which a caller can prove a join).
+type GoSpawn struct {
+	Desc        string
+	Pos         token.Position
+	Roots       []int // parameter indices captured by the goroutine
+	Completions []Completion
+}
+
+// SiteSpawn is a spawn observed inside a concrete body. For direct `go`
+// statements Stmt (and Lit, when the goroutine runs a function literal)
+// are set and [At, End] spans the statement; for spawns inherited from a
+// callee, At and End span the call expression and Stmt/Lit are nil.
+type SiteSpawn struct {
+	Desc        string
+	Pos         token.Position
+	At, End     token.Pos
+	Stmt        *ast.GoStmt
+	Lit         *ast.FuncLit
+	RootObjs    []types.Object
+	Completions []SiteCompletion
+}
+
+// Captures reports whether obj is in the spawn's ownership domain.
+func (s *SiteSpawn) Captures(obj types.Object) bool {
+	for _, o := range s.RootObjs {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// SpawnSummaries computes goroutine-spawn summaries for every indexed
+// function by bottom-up fixpoint: recursive spawn helpers converge, and
+// a spawn behind two layers of helpers still surfaces — re-rooted — at
+// the outermost caller.
+func (e *Engine) SpawnSummaries(compSums map[string][]Completion) map[string][]GoSpawn {
+	sums := map[string][]GoSpawn{}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, id := range e.ids {
+			f := e.funcs[id]
+			params, _, _ := paramObjects(f.Pkg, f.Decl)
+			var next []GoSpawn
+			seen := map[string]bool{}
+			for _, ss := range e.BodySpawns(f.Pkg, params, f.Decl.Body, sums, compSums) {
+				if seen[ss.Pos.String()+"|"+ss.Desc] {
+					continue
+				}
+				seen[ss.Pos.String()+"|"+ss.Desc] = true
+				g := GoSpawn{Desc: ss.Desc, Pos: ss.Pos}
+				rootSeen := map[int]bool{}
+				for _, o := range ss.RootObjs {
+					if idx, isParam := params[o]; isParam && !rootSeen[idx] {
+						rootSeen[idx] = true
+						g.Roots = append(g.Roots, idx)
+					}
+				}
+				sort.Ints(g.Roots)
+				for _, c := range ss.Completions {
+					g.Completions = append(g.Completions, c.Completion)
+				}
+				next = append(next, g)
+			}
+			sort.Slice(next, func(i, j int) bool {
+				if next[i].Pos.Offset != next[j].Pos.Offset {
+					return next[i].Pos.Offset < next[j].Pos.Offset
+				}
+				return next[i].Desc < next[j].Desc
+			})
+			if len(next) > len(sums[id]) {
+				sums[id] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// BodySpawns returns the goroutine spawns of one statement subtree:
+// direct `go` statements with their captured variables and completion
+// edges, plus spawns inherited from summarized callees with their roots
+// re-resolved at the call's arguments.
+func (e *Engine) BodySpawns(pkg *Pkg, params map[types.Object]int, body ast.Node, sums map[string][]GoSpawn, compSums map[string][]Completion) []SiteSpawn {
+	var out []SiteSpawn
+	if body == nil {
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			ss := SiteSpawn{
+				Desc: "go " + exprString(x.Call.Fun),
+				Pos:  pkg.Fset.Position(x.Pos()),
+				At:   x.Pos(), End: x.End(),
+				Stmt:     x,
+				RootObjs: capturedVars(pkg, x),
+			}
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				ss.Lit = lit
+				ss.Completions = e.BodyCompletions(pkg, params, lit.Body, compSums)
+			} else {
+				// Re-rooting the call expression pairs a Done on a
+				// *sync.WaitGroup argument with the spawner's WaitGroup.
+				ss.Completions = e.BodyCompletions(pkg, params, x.Call, compSums)
+			}
+			out = append(out, ss)
+		case *ast.CallExpr:
+			_, callee, recv := e.Callee(pkg, x)
+			if callee == nil || sums == nil {
+				return true
+			}
+			for _, g := range sums[callee.ID] {
+				ss := SiteSpawn{
+					Desc: g.Desc,
+					Pos:  g.Pos,
+					At:   x.Pos(), End: x.End(),
+				}
+				for _, root := range g.Roots {
+					if expr := rerootExpr(root, x, recv); expr != nil {
+						if _, obj, ok := rootOf(pkg, params, expr); ok && obj != nil {
+							ss.RootObjs = append(ss.RootObjs, obj)
+						}
+					}
+				}
+				for _, c := range g.Completions {
+					sc := SiteCompletion{Completion: c}
+					if expr := rerootExpr(c.Root, x, recv); expr != nil {
+						if _, obj, ok := rootOf(pkg, params, expr); ok {
+							sc.RootObj = obj
+						}
+					}
+					ss.Completions = append(ss.Completions, sc)
+				}
+				out = append(out, ss)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rerootExpr maps a callee-relative root index to the expression carrying
+// it at a concrete call site: the receiver, an argument, or nil for
+// global/local roots (which do not re-root).
+func rerootExpr(root int, call *ast.CallExpr, recv ast.Expr) ast.Expr {
+	switch root {
+	case recvParam:
+		return recv
+	case globalRoot, localRoot:
+		return nil
+	default:
+		if root >= 0 && root < len(call.Args) {
+			return call.Args[root]
+		}
+	}
+	return nil
+}
+
+// capturedVars collects every variable object a `go` statement
+// references — in the spawned call's arguments and, for literal
+// goroutines, in the literal body — excluding variables declared inside
+// the statement itself (the goroutine's own parameters and locals).
+// This is the spawn's ownership domain.
+func capturedVars(pkg *Pkg, gs *ast.GoStmt) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	ast.Inspect(gs, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info == nil {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || seen[v] {
+			return true
+		}
+		if v.Pos() >= gs.Pos() && v.Pos() < gs.End() {
+			return true // declared inside the goroutine: not captured
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// LitParams maps the parameter objects of a function literal to their
+// indices, for analyzers reasoning about goroutine-owned state handed in
+// as arguments.
+func LitParams(pkg *Pkg, lit *ast.FuncLit) map[types.Object]int {
+	params := map[types.Object]int{}
+	if pkg.Info == nil || lit.Type.Params == nil {
+		return params
+	}
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				params[obj] = i
+			}
+			i++
+		}
+	}
+	return params
+}
+
+// RootObject resolves the base variable carrying an expression's state
+// (unwrapping parens, *, &, indexing, slicing and field selection) — the
+// exported form of the engine's internal root resolution, for analyzers
+// that reason about ownership of concrete expressions. ok is false when
+// no single base variable exists (function results, literals).
+func RootObject(pkg *Pkg, params map[types.Object]int, expr ast.Expr) (types.Object, bool) {
+	_, obj, ok := rootOf(pkg, params, expr)
+	return obj, ok && obj != nil
+}
+
+// IsWaitGroupWait reports sync.WaitGroup.Wait.
+func IsWaitGroupWait(fn *types.Func) bool {
+	return fn.Name() == "Wait" && isWaitGroupMethod(fn)
+}
+
+// isMutexMethod reports a name method on sync.Mutex or sync.RWMutex.
+func isMutexMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := named.Obj().Name()
+	if n != "Mutex" && n != "RWMutex" {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}

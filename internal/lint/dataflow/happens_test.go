@@ -1,0 +1,241 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+// spawnSrc models the wall-clock worker pattern with channels only (the
+// synthetic loader is import-free): loop-spawned workers, a
+// channel-mediated join, a spawn helper that hides the go statement one
+// call deep, and a recursive spawner the fixpoint must terminate on.
+const spawnSrc = `package p
+
+type slot struct{ n int64 }
+
+// fan loop-spawns one worker per slot; each signals completion by
+// sending on done.
+func fan(slots []slot, done chan int) {
+	for wk := 0; wk < len(slots); wk++ {
+		go func(wk int) {
+			slots[wk].n++
+			done <- wk
+		}(wk)
+	}
+}
+
+// join drains one completion per slot.
+func join(slots []slot, done chan int) {
+	for range slots {
+		<-done
+	}
+}
+
+// run composes them: fan, join, merge.
+func run(slots []slot, done chan int) int64 {
+	fan(slots, done)
+	join(slots, done)
+	var total int64
+	for i := range slots {
+		total += slots[i].n
+	}
+	return total
+}
+
+// respawn spawns itself: the spawn-summary fixpoint must converge.
+func respawn(depth int, done chan int) {
+	if depth == 0 {
+		done <- 0
+		return
+	}
+	go respawn(depth-1, done)
+}
+`
+
+func lookupFunc(t *testing.T, eng *Engine, name string) *Func {
+	t.Helper()
+	for _, id := range eng.ids {
+		f := eng.funcs[id]
+		if f.Decl.Name.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not indexed", name)
+	return nil
+}
+
+func TestSpawnSummariesChannelJoin(t *testing.T) {
+	eng := New([]*Pkg{loadSrc(t, spawnSrc)})
+	comps := eng.Completions()
+	spawns := eng.SpawnSummaries(comps)
+
+	fan := lookupFunc(t, eng, "fan")
+	fs := spawns[fan.ID]
+	if len(fs) != 1 {
+		t.Fatalf("fan: %d spawn summaries, want 1: %+v", len(fs), fs)
+	}
+	// Both parameters escape into the goroutine: slots is written, done
+	// is sent on.
+	if len(fs[0].Roots) != 2 || fs[0].Roots[0] != 0 || fs[0].Roots[1] != 1 {
+		t.Errorf("fan spawn roots = %v, want [0 1]", fs[0].Roots)
+	}
+	var hasSend bool
+	for _, c := range fs[0].Completions {
+		if c.Kind == CompleteSend {
+			hasSend = true
+		}
+	}
+	if !hasSend {
+		t.Errorf("fan spawn completions lack the done-channel send: %+v", fs[0].Completions)
+	}
+
+	// run inherits fan's spawn re-rooted at its own parameters.
+	run := lookupFunc(t, eng, "run")
+	rs := spawns[run.ID]
+	if len(rs) != 1 {
+		t.Fatalf("run: %d spawn summaries, want 1: %+v", len(rs), rs)
+	}
+	if len(rs[0].Roots) != 2 {
+		t.Errorf("run inherited spawn roots = %v, want both params", rs[0].Roots)
+	}
+
+	// respawn's recursive spawn converges to a single deduplicated entry.
+	respawn := lookupFunc(t, eng, "respawn")
+	if got := len(spawns[respawn.ID]); got != 1 {
+		t.Errorf("respawn: %d spawn summaries, want 1 (fixpoint dedupe)", got)
+	}
+}
+
+func TestBodySpawnsSiteForm(t *testing.T) {
+	pkg := loadSrc(t, spawnSrc)
+	eng := New([]*Pkg{pkg})
+	comps := eng.Completions()
+	spawns := eng.SpawnSummaries(comps)
+
+	run := lookupFunc(t, eng, "run")
+	params := ParamsOf(run.Pkg, run.Decl)
+	sites := eng.BodySpawns(run.Pkg, params, run.Decl.Body, spawns, comps)
+	if len(sites) != 1 {
+		t.Fatalf("run body: %d site spawns, want 1 (the fan call): %+v", len(sites), sites)
+	}
+	ss := sites[0]
+	if ss.Stmt != nil || ss.Lit != nil {
+		t.Errorf("propagated spawn must not carry a direct Stmt/Lit")
+	}
+	// At/End span the fan(...) call so analyzers can order accesses
+	// lexically against it.
+	if ss.At >= ss.End {
+		t.Errorf("site extent [%v, %v) is empty", ss.At, ss.End)
+	}
+	// The re-rooted ownership domain is run's own slots and done vars.
+	if len(ss.RootObjs) != 2 {
+		t.Fatalf("re-rooted RootObjs = %v, want 2", ss.RootObjs)
+	}
+	for _, o := range ss.RootObjs {
+		if _, isParam := params[o]; !isParam {
+			t.Errorf("re-rooted object %v is not one of run's parameters", o)
+		}
+	}
+
+	// Direct spawns in fan carry the GoStmt, the literal, and the captured
+	// outer variables (slots and done — wk is the literal's own param).
+	fan := lookupFunc(t, eng, "fan")
+	fparams := ParamsOf(fan.Pkg, fan.Decl)
+	fsites := eng.BodySpawns(fan.Pkg, fparams, fan.Decl.Body, spawns, comps)
+	if len(fsites) != 1 {
+		t.Fatalf("fan body: %d site spawns, want 1: %+v", len(fsites), fsites)
+	}
+	ds := fsites[0]
+	if ds.Stmt == nil || ds.Lit == nil {
+		t.Fatalf("direct literal spawn must carry Stmt and Lit")
+	}
+	litParams := LitParams(fan.Pkg, ds.Lit)
+	if len(litParams) != 1 {
+		t.Errorf("literal params = %v, want the single wk", litParams)
+	}
+	names := map[string]bool{}
+	for _, o := range ds.RootObjs {
+		names[o.Name()] = true
+	}
+	// The loop variable wk (outer) is captured as the spawn argument;
+	// the literal's own wk parameter is declared inside and excluded.
+	for _, want := range []string{"slots", "done", "wk"} {
+		if !names[want] {
+			t.Errorf("captured vars = %v, missing %q", names, want)
+		}
+	}
+	for _, o := range ds.RootObjs {
+		if !ds.Captures(o) {
+			t.Errorf("Captures(%v) = false for its own root", o)
+		}
+	}
+}
+
+func TestOrderingsPropagateThroughHelper(t *testing.T) {
+	eng := New([]*Pkg{loadSrc(t, spawnSrc)})
+	ords := eng.Orderings()
+
+	// join performs a receive rooted at its done parameter.
+	join := lookupFunc(t, eng, "join")
+	js := ords[join.ID]
+	if len(js) != 1 || js[0].Kind != OrderRecv {
+		t.Fatalf("join orderings = %+v, want one recv", js)
+	}
+	if js[0].Root != 1 {
+		t.Errorf("join recv root = %d, want param 1 (done)", js[0].Root)
+	}
+
+	// run inherits the edge through the join(slots, done) call; at the
+	// body level it re-roots to run's own done variable.
+	run := lookupFunc(t, eng, "run")
+	params := ParamsOf(run.Pkg, run.Decl)
+	sites := eng.BodyOrderings(run.Pkg, params, run.Decl.Body, ords)
+	var recvs []SiteOrdering
+	for _, so := range sites {
+		if so.Kind == OrderRecv {
+			recvs = append(recvs, so)
+		}
+	}
+	if len(recvs) != 1 {
+		t.Fatalf("run body recv orderings = %+v, want 1 (via join)", recvs)
+	}
+	if recvs[0].RootObj == nil || recvs[0].RootObj.Name() != "done" {
+		t.Errorf("inherited recv roots at %v, want run's done param", recvs[0].RootObj)
+	}
+	// The inherited edge's At is the call site inside run's body, so
+	// lexical spawn → access → join ordering works across helpers.
+	if recvs[0].At < run.Decl.Body.Pos() || recvs[0].At > run.Decl.Body.End() {
+		t.Errorf("inherited ordering At=%v outside run's body", recvs[0].At)
+	}
+}
+
+func TestOrderingsDeterministic(t *testing.T) {
+	render := func() []string {
+		eng := New([]*Pkg{loadSrc(t, spawnSrc)})
+		comps := eng.Completions()
+		var out []string
+		for id, os := range eng.Orderings() {
+			for _, o := range os {
+				out = append(out, id+"|"+string(o.Kind)+"|"+o.Desc)
+			}
+		}
+		for id, ss := range eng.SpawnSummaries(comps) {
+			for _, s := range ss {
+				out = append(out, id+"|spawn|"+s.Desc)
+			}
+		}
+		return out
+	}
+	a, b := render(), render()
+	if len(a) != len(b) {
+		t.Fatalf("summary counts differ across runs: %d vs %d", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		if !seen[s] {
+			t.Errorf("summary %q present in run 2 only", s)
+		}
+	}
+}

@@ -43,8 +43,11 @@ func parseIgnore(text string) (check, reason string, ok, malformed bool) {
 //	//hotpath:allocfree — on a function: the allocfree check proves
 //	  every call chain from it allocation-free;
 //	//hotpath:padded — on a struct type: the padcheck check proves its
-//	  size is a cache-line multiple and its atomics are isolated.
-var hotpathKinds = map[string]bool{"allocfree": true, "padded": true}
+//	  size is a cache-line multiple and its atomics are isolated;
+//	//hotpath:isolated — on a struct type: the shareiso check proves
+//	  values of it are written only by their owning goroutine, with
+//	  cross-goroutine reads ordered by a proven happens-before edge.
+var hotpathKinds = map[string]bool{"allocfree": true, "padded": true, "isolated": true}
 
 // parseHotpath parses one comment's text as a //hotpath:<kind> directive
 // (optional trailing free-form note allowed). ok is false when the
@@ -84,7 +87,7 @@ func collectIgnores(pkg *Package) (idx ignoreIndex, all []*ignoreDirective, malf
 					malformed = append(malformed, Finding{
 						Pos:     pos,
 						Check:   "hotpath",
-						Message: "malformed //hotpath: directive (kind " + strings.TrimSpace(kind) + "): want //hotpath:allocfree or //hotpath:padded",
+						Message: "malformed //hotpath: directive (kind " + strings.TrimSpace(kind) + "): want //hotpath:allocfree, //hotpath:padded or //hotpath:isolated",
 					})
 					continue
 				} else if ok {

@@ -47,6 +47,10 @@ func FuzzDirectiveParse(f *testing.F) {
 		"// a regular comment",
 		"//hotpath:allocfree",
 		"//hotpath:padded trailing note",
+		"//hotpath:isolated",
+		"//hotpath:isolated per-worker accumulator",
+		"//hotpath:isolate",
+		"//hotpath:isolatedd",
 		"//hotpath:fast",
 		"//hotpath:",
 		"//hotpath: allocfree",

@@ -85,10 +85,10 @@ func TestInterprocSuppression(t *testing.T) {
 	}
 }
 
-// TestTenAnalyzers pins the suite composition and name stability —
+// TestThirteenAnalyzers pins the suite composition and name stability —
 // //lint:ignore directives and CI reference these names.
-func TestTenAnalyzers(t *testing.T) {
-	want := []string{"determinism", "guardedby", "lockbalance", "floateq", "clocktaint", "maporder", "lockset", "allocfree", "goleak", "padcheck"}
+func TestThirteenAnalyzers(t *testing.T) {
+	want := []string{"determinism", "guardedby", "lockbalance", "floateq", "clocktaint", "maporder", "lockset", "allocfree", "goleak", "padcheck", "shareiso", "atomicdiscipline", "ctxcancel"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -101,7 +101,7 @@ func TestTenAnalyzers(t *testing.T) {
 			t.Errorf("%s has empty Doc", a.Name())
 		}
 	}
-	for _, name := range []string{"clocktaint", "maporder", "lockset", "allocfree", "goleak"} {
+	for _, name := range []string{"clocktaint", "maporder", "lockset", "allocfree", "goleak", "shareiso", "atomicdiscipline", "ctxcancel"} {
 		var found Analyzer
 		for _, a := range all {
 			if a.Name() == name {

@@ -44,6 +44,24 @@
 //     cache-line-sized (a multiple of 64 bytes on gc/amd64) and keep
 //     their atomics away from unrelated mutable fields (false sharing).
 //
+// Three more are static race-freedom proofs, built on the engine's
+// goroutine-spawn and happens-before summaries (a go statement creates
+// an ownership domain; wg.Wait, channel receive and mutex release create
+// ordering edges):
+//
+//   - shareiso: values of types annotated //hotpath:isolated (per-worker
+//     accumulator slots, scratch arenas, scheduler cursors) are written
+//     only by their owning goroutine; spawner-side access after a
+//     capturing go statement requires a proven happens-before edge, such
+//     as the post-wg.Wait merge in the wall-clock executor;
+//   - atomicdiscipline: a word accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere (pre-publication plain writes on
+//     local state exempt), and typed atomics must never be copied as
+//     values;
+//   - ctxcancel: blocking operations reachable from the serving layer's
+//     HTTP handlers must select on ctx.Done() or carry a deadline; bare
+//     sends/receives and time.Sleep on request paths are findings.
+//
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/token, go/types); the module stays dependency-free.
 //
@@ -109,6 +127,9 @@ func All() []Analyzer {
 		NewAllocFree(),
 		NewGoleak(),
 		NewPadCheck(),
+		NewShareIso(),
+		NewAtomicDiscipline(),
+		NewCtxCancel(),
 	}
 }
 

@@ -151,6 +151,12 @@ func TestAppliesTo(t *testing.T) {
 		{NewFloatEq(), "execmodels/internal/chem", true},
 		{NewFloatEq(), "execmodels/internal/linalg", true},
 		{NewFloatEq(), "execmodels/internal/core", false},
+		{NewShareIso(), "anything/at/all", true},
+		{NewAtomicDiscipline(), "execmodels/internal/ga", true},
+		{NewAtomicDiscipline(), "execmodels/internal/deque", true},
+		{NewAtomicDiscipline(), "execmodels/internal/chem", false},
+		{NewCtxCancel(), "execmodels/internal/serve", true},
+		{NewCtxCancel(), "execmodels/internal/core", false},
 		{NewGuardedBy(), "anything/at/all", true},
 		{NewLockBalance(), "anything/at/all", true},
 	}

@@ -1,0 +1,553 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"execmodels/internal/lint/dataflow"
+)
+
+// ShareIso proves goroutine ownership of //hotpath:isolated state: values
+// whose type carries the annotation (the wall-clock executors' per-worker
+// wallAccum slots, ERI scratch arenas, per-worker scheduler cursors) may
+// be written only by their owning goroutine, and cross-goroutine accesses
+// are legal only past a proven happens-before edge.
+//
+// The rule, per function and per base variable holding isolated state:
+//
+//   - before any `go` statement that captures the variable, accesses are
+//     ordinary sequential code — fine (initialization);
+//   - inside a capturing goroutine literal, each access must be owned:
+//     rooted at the literal's own parameters/locals, or selected through
+//     an index that is itself a literal parameter (the "pass the worker
+//     index as a goroutine argument" idiom of wallRunJK) — otherwise two
+//     loop-spawned workers write the same slot;
+//   - after a capturing spawn, spawner-side accesses need a happens-before
+//     edge between the spawn and the access: a wg.Wait matching the
+//     goroutine's wg.Done, or a channel receive matching its send/close
+//     (edges and spawns are both found interprocedurally, so a launch
+//     helper three calls deep still counts);
+//   - alternatively, both sides may hold the same mutex.
+//
+// Spawns, completion edges and orderings come from the dataflow engine's
+// goroutine-spawn and happens-before summaries, reusing goleak's
+// completion-edge discovery.
+type ShareIso struct{}
+
+// NewShareIso returns the check. It scopes itself: only types annotated
+// //hotpath:isolated are tracked, wherever they are declared.
+func NewShareIso() *ShareIso { return &ShareIso{} }
+
+func (s *ShareIso) Name() string { return "shareiso" }
+func (s *ShareIso) Doc() string {
+	return "//hotpath:isolated values are written only by their owning goroutine; cross-goroutine access requires a proven happens-before edge (wg.Wait, channel receive, or a shared mutex)"
+}
+
+// AppliesTo is true everywhere: the check scopes itself through the
+// //hotpath:isolated annotations.
+func (s *ShareIso) AppliesTo(string) bool { return true }
+
+// Run analyzes a single package (fixture mode).
+func (s *ShareIso) Run(pkg *Package) []Finding {
+	return s.RunProgram([]*Package{pkg})
+}
+
+// isoType is one annotated type: display name and declaration position
+// (the first step of every rendered path).
+type isoType struct {
+	name string
+	pos  token.Position
+}
+
+// isoAccess is one expression whose type holds isolated state, with the
+// base variable that owns it.
+type isoAccess struct {
+	expr ast.Expr
+	at   token.Pos
+	pos  token.Position
+	root types.Object
+	typ  isoType
+}
+
+// RunProgram analyzes all packages together.
+func (s *ShareIso) RunProgram(pkgs []*Package) []Finding {
+	isolated := collectIsolated(pkgs)
+	if len(isolated) == 0 {
+		return nil
+	}
+	dfp := dataflowPkgs(pkgs)
+	eng := dataflow.New(dfp)
+	compSums := eng.Completions()
+	ordSums := eng.Orderings()
+	spawnSums := eng.SpawnSummaries(compSums)
+
+	var out []Finding
+	seen := map[string]bool{}
+	emit := func(f Finding) {
+		k := f.Pos.String() + "|" + f.Message
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	for i, pkg := range pkgs {
+		dp := dfp[i]
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				s.checkFunc(eng, dp, fd, isolated, compSums, ordSums, spawnSums, emit)
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc applies the ownership rule to one function body.
+func (s *ShareIso) checkFunc(eng *dataflow.Engine, dp *dataflow.Pkg, fd *ast.FuncDecl,
+	isolated map[string]isoType,
+	compSums map[string][]dataflow.Completion, ordSums map[string][]dataflow.Ordering,
+	spawnSums map[string][]dataflow.GoSpawn, emit func(Finding)) {
+
+	params := dataflow.ParamsOf(dp, fd)
+	accesses := collectIsoAccesses(dp, params, fd.Body, isolated)
+	if len(accesses) == 0 {
+		return
+	}
+	spawns := eng.BodySpawns(dp, params, fd.Body, spawnSums, compSums)
+	if len(spawns) == 0 {
+		return // purely sequential function: every access is fine
+	}
+	ords := eng.BodyOrderings(dp, params, fd.Body, ordSums)
+
+	// Direct-spawn extents: accesses inside them are goroutine-side (or
+	// spawn-time argument evaluation, which the spawner performs
+	// sequentially); orderings inside them are the goroutine's own and do
+	// not order the spawner.
+	var extents []*dataflow.SiteSpawn
+	for i := range spawns {
+		if spawns[i].Stmt != nil {
+			extents = append(extents, &spawns[i])
+		}
+	}
+	inExtent := func(p token.Pos) bool {
+		for _, e := range extents {
+			if p >= e.At && p < e.End {
+				return true
+			}
+		}
+		return false
+	}
+	spawnerEvents := collectLockEvents(dp, fd.Body, inExtent)
+
+	// A goroutine-owned index is required only when several goroutine
+	// instances can capture the same variable — a spawn inside a loop, or
+	// multiple capturing spawns. A single spawn is whole-value handoff:
+	// the spawner-side join requirement already polices it.
+	loops := loopExtents(fd.Body)
+	multiInstance := func(sp *dataflow.SiteSpawn, root types.Object) bool {
+		for _, r := range loops {
+			if sp.At >= r.lo && sp.At < r.hi {
+				return true
+			}
+		}
+		n := 0
+		for i := range spawns {
+			if spawns[i].Captures(root) {
+				n++
+			}
+		}
+		return n > 1
+	}
+
+	for _, a := range accesses {
+		if inExtent(a.at) {
+			s.checkGoroutineSide(dp, a, extents, multiInstance, emit)
+			continue
+		}
+		s.checkSpawnerSide(dp, a, spawns, ords, spawnerEvents, inExtent, emit)
+	}
+}
+
+// loopExtents returns the position spans of the for/range statements in a
+// body.
+func loopExtents(body ast.Node) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, posRange{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// checkSpawnerSide verifies one spawner-side access: every earlier spawn
+// capturing the access's base variable must be joined by a matching
+// happens-before edge (or both sides hold one mutex).
+func (s *ShareIso) checkSpawnerSide(dp *dataflow.Pkg, a isoAccess, spawns []dataflow.SiteSpawn,
+	ords []dataflow.SiteOrdering, spawnerEvents []lockEvent,
+	inExtent func(token.Pos) bool, emit func(Finding)) {
+
+	held := heldAt(spawnerEvents, a.at)
+	for i := range spawns {
+		sp := &spawns[i]
+		// a.at < sp.End also skips accesses inside a propagated spawn's
+		// call expression: argument evaluation happens before the callee
+		// spawns anything.
+		if a.at < sp.End || !sp.Captures(a.root) {
+			continue
+		}
+		if joinedBetween(sp, a.at, ords, inExtent) {
+			continue
+		}
+		if mutexCovers(dp, a, sp, held) {
+			continue
+		}
+		emit(Finding{
+			Pos:   a.pos,
+			Check: s.Name(),
+			Message: fmt.Sprintf("isolated %s state %q accessed while the goroutine spawned at line %d may still own it — no wg.Wait/channel-receive happens-before edge (or shared mutex) between the spawn and this access",
+				a.typ.name, a.root.Name(), sp.Pos.Line),
+			Path: dataflow.Path{
+				{Pos: a.typ.pos, Desc: "isolated type " + a.typ.name + " (//hotpath:isolated)"},
+				{Pos: sp.Pos, Desc: sp.Desc + " captures " + a.root.Name()},
+				{Pos: a.pos, Desc: "unordered access to " + a.root.Name()},
+			},
+		})
+		return // one finding per access is enough
+	}
+}
+
+// joinedBetween reports whether an ordering between the spawn and the
+// access matches one of the goroutine's completion edges: a wg.Wait
+// against its wg.Done, or a channel receive against its send/close.
+func joinedBetween(sp *dataflow.SiteSpawn, at token.Pos, ords []dataflow.SiteOrdering, inExtent func(token.Pos) bool) bool {
+	for _, o := range ords {
+		if o.At <= sp.At || o.At >= at || o.RootObj == nil || inExtent(o.At) {
+			continue
+		}
+		for _, c := range sp.Completions {
+			if c.RootObj != o.RootObj {
+				continue
+			}
+			switch {
+			case o.Kind == dataflow.OrderWait && c.Kind == dataflow.CompleteDone:
+				return true
+			case o.Kind == dataflow.OrderRecv && (c.Kind == dataflow.CompleteSend || c.Kind == dataflow.CompleteClose):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mutexCovers reports whether the spawner-side access holds a mutex that
+// also guards every goroutine-side access to the same variable — the
+// lock-based alternative to a join edge. Only verifiable for direct
+// literal spawns: a named or propagated goroutine body is out of lexical
+// reach.
+func mutexCovers(dp *dataflow.Pkg, a isoAccess, sp *dataflow.SiteSpawn, held map[types.Object]bool) bool {
+	if sp.Lit == nil || len(held) == 0 {
+		return false
+	}
+	litEvents := collectLockEvents(dp, sp.Lit.Body, nil)
+	for m := range held {
+		if goroutineAccessesUnder(dp, sp, a.root, m, litEvents) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineAccessesUnder reports whether every access to root inside the
+// spawn's literal body happens while mutex m is held.
+func goroutineAccessesUnder(dp *dataflow.Pkg, sp *dataflow.SiteSpawn, root types.Object, m types.Object, litEvents []lockEvent) bool {
+	ok := true
+	ast.Inspect(sp.Lit.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		e, isExpr := n.(ast.Expr)
+		if !isExpr {
+			return true
+		}
+		if obj, resolved := dataflow.RootObject(dp, nil, e); resolved && obj == root {
+			if !heldAt(litEvents, e.Pos())[m] {
+				ok = false
+			}
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// checkGoroutineSide verifies one access inside a goroutine literal: the
+// base variable must be the literal's own (param or local), selected
+// through an index rooted at a literal parameter, or guarded by a mutex
+// the goroutine holds.
+func (s *ShareIso) checkGoroutineSide(dp *dataflow.Pkg, a isoAccess, extents []*dataflow.SiteSpawn, multiInstance func(*dataflow.SiteSpawn, types.Object) bool, emit func(Finding)) {
+	var sp *dataflow.SiteSpawn
+	for _, e := range extents {
+		if a.at >= e.At && a.at < e.End {
+			sp = e
+			break
+		}
+	}
+	if sp == nil || sp.Lit == nil {
+		return
+	}
+	lit := sp.Lit
+	if a.at < lit.Body.Pos() || a.at >= lit.Body.End() {
+		return // spawn-time argument evaluation: still the spawner, sequential
+	}
+	if a.root.Pos() >= lit.Pos() && a.root.Pos() < lit.End() {
+		return // the literal's own parameter or local: owned
+	}
+	if !multiInstance(sp, a.root) {
+		return // single whole-value handoff; the join requirement covers it
+	}
+	litParams := dataflow.LitParams(dp, lit)
+	if ownedIndex(dp, a.expr, litParams) {
+		return // slots[wk] with wk a goroutine argument: owner-domain slot
+	}
+	litEvents := collectLockEvents(dp, lit.Body, nil)
+	if len(heldAt(litEvents, a.at)) > 0 {
+		return // lock-based sharing; the spawner side is checked symmetrically
+	}
+	emit(Finding{
+		Pos:   a.pos,
+		Check: s.Name(),
+		Message: fmt.Sprintf("goroutine accesses isolated %s state %q without a goroutine-owned index — pass the worker index as a goroutine argument, or guard both sides with one mutex",
+			a.typ.name, a.root.Name()),
+		Path: dataflow.Path{
+			{Pos: a.typ.pos, Desc: "isolated type " + a.typ.name + " (//hotpath:isolated)"},
+			{Pos: sp.Pos, Desc: sp.Desc + " captures " + a.root.Name()},
+			{Pos: a.pos, Desc: "unowned access to " + a.root.Name()},
+		},
+	})
+}
+
+// ownedIndex reports whether the access selects through an index
+// expression rooted at one of the goroutine literal's own parameters —
+// the wallRunJK idiom `go func(wk int) { ... &slots[wk] ... }(wk)`.
+func ownedIndex(dp *dataflow.Pkg, access ast.Expr, litParams map[types.Object]int) bool {
+	if len(litParams) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(access, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if obj, resolved := dataflow.RootObject(dp, nil, ix.Index); resolved {
+			if _, isLitParam := litParams[obj]; isLitParam {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectIsolated gathers every struct type annotated //hotpath:isolated,
+// keyed "pkgpath.Name".
+func collectIsolated(pkgs []*Package) map[string]isoType {
+	out := map[string]isoType{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					if !hasHotpathDoc(doc, "isolated") {
+						continue
+					}
+					out[pkg.Path+"."+ts.Name.Name] = isoType{
+						name: ts.Name.Name,
+						pos:  pkg.Fset.Position(ts.Pos()),
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isolatedTypeOf unwraps pointers, slices and arrays and reports the
+// annotated named type an expression's type reaches, if any. It does not
+// recurse into the fields of other named structs: holding a struct that
+// *contains* isolated state is not itself an isolated access.
+func isolatedTypeOf(t types.Type, isolated map[string]isoType) (isoType, bool) {
+	for t != nil {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Slice:
+			t = x.Elem()
+		case *types.Array:
+			t = x.Elem()
+		case *types.Named:
+			if x.Obj().Pkg() == nil {
+				return isoType{}, false
+			}
+			it, ok := isolated[x.Obj().Pkg().Path()+"."+x.Obj().Name()]
+			return it, ok
+		default:
+			return isoType{}, false
+		}
+	}
+	return isoType{}, false
+}
+
+// collectIsoAccesses walks a body for the outermost value expressions
+// whose type holds isolated state and that resolve to a base variable.
+func collectIsoAccesses(dp *dataflow.Pkg, params map[types.Object]int, body ast.Node, isolated map[string]isoType) []isoAccess {
+	var out []isoAccess
+	ast.Inspect(body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := dp.Info.Types[e]
+		if !ok || !tv.IsValue() {
+			return true
+		}
+		it, iso := isolatedTypeOf(tv.Type, isolated)
+		if !iso {
+			return true
+		}
+		root, resolved := dataflow.RootObject(dp, params, e)
+		if !resolved {
+			return true // no base variable (make, composite literal, call result)
+		}
+		out = append(out, isoAccess{expr: e, at: e.Pos(), pos: dp.Fset.Position(e.Pos()), root: root, typ: it})
+		return false // outermost isolated expression: don't double-count parts
+	})
+	return out
+}
+
+// lockEvent is one lexical mutex operation: m.Lock() opens a region,
+// m.Unlock() closes it, defer m.Unlock() keeps it open to the end of the
+// enclosing body.
+type lockEvent struct {
+	at       token.Pos
+	obj      types.Object
+	lock     bool
+	deferred bool
+}
+
+// collectLockEvents gathers the mutex operations of one body in lexical
+// order. skip (optional) excludes subranges — the spawner's view must not
+// see the goroutines' own lock operations.
+func collectLockEvents(dp *dataflow.Pkg, body ast.Node, skip func(token.Pos) bool) []lockEvent {
+	var out []lockEvent
+	var deferred []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred = append(deferred, ds.Call.Pos())
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if skip != nil && skip(call.Pos()) {
+			return true
+		}
+		sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := dp.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		var isLock bool
+		switch {
+		case isMutexOp(fn, "Lock"):
+			isLock = true
+		case isMutexOp(fn, "Unlock"):
+			isLock = false
+		default:
+			return true
+		}
+		obj, okBase := baseIdentObj(dp, sel.X)
+		if !okBase {
+			return true
+		}
+		isDef := false
+		for _, defPos := range deferred {
+			if call.Pos() == defPos {
+				isDef = true
+			}
+		}
+		out = append(out, lockEvent{at: call.Pos(), obj: obj, lock: isLock, deferred: isDef})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out
+}
+
+// heldAt returns the mutexes lexically held at position p: locked before
+// p and not released before p (a deferred unlock releases only at body
+// end, so it never closes the region early).
+func heldAt(events []lockEvent, p token.Pos) map[types.Object]bool {
+	held := map[types.Object]bool{}
+	for _, ev := range events {
+		if ev.at >= p {
+			break
+		}
+		switch {
+		case ev.lock:
+			held[ev.obj] = true
+		case !ev.deferred:
+			delete(held, ev.obj)
+		}
+	}
+	return held
+}
+
+// isMutexOp reports a Lock/Unlock method on sync.Mutex or sync.RWMutex.
+func isMutexOp(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := named.Obj().Name()
+	if n != "Mutex" && n != "RWMutex" {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}

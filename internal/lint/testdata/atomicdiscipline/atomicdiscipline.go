@@ -1,0 +1,77 @@
+// Package atomicdiscipline exercises the all-or-nothing atomicity rule:
+// a word accessed via sync/atomic anywhere must be accessed atomically
+// everywhere, and typed atomics must never be copied as values.
+package atomicdiscipline
+
+import "sync/atomic"
+
+// counters mixes one atomically-maintained field with a cold plain one.
+type counters struct {
+	hits int64
+	cold int64
+}
+
+// bump is the canonical atomic writer: it establishes hits as an
+// atomic word program-wide.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// mixedRead reads hits without sync/atomic — the race the check exists
+// to catch.
+func mixedRead(c *counters) int64 {
+	return c.hits // want `mixed plain/atomic access`
+}
+
+// coldAccess touches only the never-atomic field. Clean.
+func coldAccess(c *counters) int64 {
+	c.cold++
+	return c.cold
+}
+
+// prePublication builds a counters value locally before anything can
+// share it — the one legitimate plain-write window. Clean.
+func prePublication() *counters {
+	var c counters
+	c.hits = 0
+	return &c
+}
+
+// globalHits is a package-level word maintained atomically...
+var globalHits int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&globalHits, 1)
+}
+
+// ...and read bare here.
+func globalRead() int64 {
+	return globalHits // want `mixed plain/atomic access`
+}
+
+// gauge wraps a typed atomic; methods and pointers are the only legal
+// ways to touch it.
+type gauge struct {
+	v atomic.Int64
+}
+
+// load operates the typed atomic through its method. Clean.
+func (g *gauge) load() int64 {
+	return g.v.Load()
+}
+
+// reset copies a fresh atomic.Int64 over the live one — a value
+// overwrite, not an atomic store.
+func (g *gauge) reset() {
+	g.v = atomic.Int64{} // want `typed atomic .* used as a value`
+}
+
+// snapshot returns the typed atomic by value, silently forking it.
+func (g *gauge) snapshot() atomic.Int64 {
+	return g.v // want `typed atomic .* used as a value`
+}
+
+// byPointer passes the typed atomic by pointer. Clean.
+func byPointer(g *gauge) *atomic.Int64 {
+	return &g.v
+}

@@ -1,0 +1,92 @@
+// Package ctxcancel exercises the request-path cancellation rule: every
+// blocking operation reachable from an http handler must select on
+// ctx.Done() or carry a deadline, and bare time.Sleep never belongs on a
+// request path.
+package ctxcancel
+
+import (
+	"net/http"
+	"time"
+)
+
+var jobs = make(chan int)
+var results = make(chan int)
+
+// handleGood blocks, but under a select with a cancel case. Clean.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	select {
+	case jobs <- 1:
+	case <-r.Context().Done():
+	}
+}
+
+// handleBare receives without any escape hatch.
+func handleBare(w http.ResponseWriter, r *http.Request) {
+	<-results // want `blocking channel receive`
+}
+
+// handleSleep stalls the request for a fixed interval.
+func handleSleep(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(50 * time.Millisecond) // want `time.Sleep`
+}
+
+// waitForIt hides the blocking receive one call deep; the walk must
+// follow the static call edge from the handler.
+func waitForIt(ch chan int) int {
+	return <-ch // want `blocking channel receive`
+}
+
+func handleHelper(w http.ResponseWriter, r *http.Request) {
+	_ = waitForIt(results)
+}
+
+// offPath also blocks, but no handler reaches it. Clean.
+func offPath(ch chan int) int {
+	return <-ch
+}
+
+// handleNoCancelSelect multiplexes two channels but offers the request
+// no way out.
+func handleNoCancelSelect(w http.ResponseWriter, r *http.Request) {
+	select { // want `no <-ctx.Done\(\), deadline, or default case`
+	case v := <-results:
+		_ = v
+	case jobs <- 2:
+	}
+}
+
+// handleDeadline bounds the wait with time.After. Clean.
+func handleDeadline(w http.ResponseWriter, r *http.Request) {
+	select {
+	case v := <-results:
+		_ = v
+	case <-time.After(time.Second):
+	}
+}
+
+// handleNonBlocking polls with a default case. Clean.
+func handleNonBlocking(w http.ResponseWriter, r *http.Request) {
+	select {
+	case v := <-results:
+		_ = v
+	default:
+	}
+}
+
+// handleCtxBare waits directly on the context — a bare receive, but
+// from the cancellation signal itself. Clean.
+func handleCtxBare(w http.ResponseWriter, r *http.Request) {
+	<-r.Context().Done()
+}
+
+// handleRange drains a channel with no cancel check between elements.
+func handleRange(w http.ResponseWriter, r *http.Request) {
+	for v := range results { // want `range over channel`
+		_ = v
+	}
+}
+
+// handleSend pushes work with no escape hatch.
+func handleSend(w http.ResponseWriter, r *http.Request) {
+	jobs <- 3 // want `blocking channel send`
+}

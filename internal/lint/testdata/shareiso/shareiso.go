@@ -1,0 +1,185 @@
+// Package shareiso exercises the goroutine-ownership proof: values of
+// //hotpath:isolated types may be written only by their owning
+// goroutine, and spawner-side access after a capturing go statement
+// needs a happens-before edge (wg.Wait matching the goroutine's Done, a
+// channel receive matching its send/close, or one mutex on both sides).
+package shareiso
+
+import "sync"
+
+// slot is one worker's padded accumulator, owned by that worker for the
+// duration of the run.
+//
+//hotpath:isolated
+type slot struct {
+	n int64
+	_ [56]byte
+}
+
+// mergeAfterWait is the wallRunJK idiom: loop-spawned workers index the
+// slot table with a goroutine argument, and the spawner folds the slots
+// only after wg.Wait. Clean.
+func mergeAfterWait(workers int) int64 {
+	slots := make([]slot, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			slots[wk].n++
+		}(wk)
+	}
+	wg.Wait()
+	var total int64
+	for wk := range slots {
+		total += slots[wk].n
+	}
+	return total
+}
+
+// mergeBeforeWait folds the slots while the workers may still be writing
+// them: the wg.Wait comes after the merge loop, so no happens-before
+// edge separates the writes from the reads.
+func mergeBeforeWait(workers int) int64 {
+	slots := make([]slot, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			slots[wk].n++
+		}(wk)
+	}
+	var total int64
+	for wk := range slots { // want `accessed while the goroutine spawned at line \d+ may still own it`
+		total += slots[wk].n // want `no wg.Wait/channel-receive happens-before edge`
+	}
+	wg.Wait()
+	return total
+}
+
+// sharedIndex captures the loop variable instead of taking it as a
+// goroutine argument. The ownership discipline requires the slot index
+// to be handed into the goroutine; a captured index cannot be proved to
+// select a distinct slot per worker.
+func sharedIndex(workers int) {
+	slots := make([]slot, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		_ = wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slots[wk].n++ // want `without a goroutine-owned index`
+		}()
+	}
+	wg.Wait()
+}
+
+// loopShared loop-spawns workers that all bump slot 0 — a literal shared
+// write, no owner.
+func loopShared(workers int) {
+	slots := make([]slot, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			slots[0].n++ // want `without a goroutine-owned index`
+			_ = wk
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// channelJoin hands the whole value to one goroutine and takes it back
+// through a close edge: single-spawn handoff, receive before read.
+// Clean.
+func channelJoin() int64 {
+	var s slot
+	done := make(chan struct{})
+	go func() {
+		s.n = 42
+		close(done)
+	}()
+	<-done
+	return s.n
+}
+
+// readBeforeJoin reads the slot before the completion receive.
+func readBeforeJoin() int64 {
+	var s slot
+	done := make(chan struct{})
+	go func() {
+		s.n = 42
+		close(done)
+	}()
+	total := s.n // want `may still own it`
+	<-done
+	return total
+}
+
+// launch is a spawn helper: the goroutine and its completion edge are
+// inside, but the captured slot and WaitGroup belong to the caller — the
+// spawn summary re-roots them at the call site.
+func launch(wg *sync.WaitGroup, s *slot) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.n++
+	}()
+}
+
+// helperJoin joins the helper-spawned worker before reading. Clean —
+// and only provable interprocedurally.
+func helperJoin() int64 {
+	var s slot
+	var wg sync.WaitGroup
+	launch(&wg, &s)
+	wg.Wait()
+	return s.n
+}
+
+// helperNoJoin reads without the join: the helper's spawn still owns s.
+func helperNoJoin() int64 {
+	var s slot
+	var wg sync.WaitGroup
+	launch(&wg, &s)
+	return s.n // want `may still own it`
+}
+
+// mutexShared guards both sides with one mutex: no join edge, but no
+// race either. Clean.
+func mutexShared() int64 {
+	var s slot
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		s.n++
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	v := s.n
+	mu.Unlock()
+	<-done
+	return v
+}
+
+// mutexOneSided locks only on the spawner side; the goroutine writes
+// bare, so the lock proves nothing.
+func mutexOneSided() int64 {
+	var s slot
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		s.n++
+		close(done)
+	}()
+	mu.Lock()
+	v := s.n // want `may still own it`
+	mu.Unlock()
+	<-done
+	return v
+}
