@@ -77,7 +77,8 @@ func BenchmarkAblationSelfSched(b *testing.B)    { runExperiment(b, "A7") }
 func BenchmarkAblationFMRefiner(b *testing.B)    { runExperiment(b, "A8") }
 
 // Wall-clock backend (BENCH_wall.json; `make bench-wall`).
-func BenchmarkWallBackend(b *testing.B) { runExperiment(b, "W1") }
+func BenchmarkWallBackend(b *testing.B)  { runExperiment(b, "W1") }
+func BenchmarkWallFeedback(b *testing.B) { runExperiment(b, "W3") }
 
 // --- kernel micro-benchmarks ---
 
@@ -303,7 +304,7 @@ func init() {
 	for _, id := range bench.Experiments() {
 		want[id] = true
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W1"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "W1", "W3"} {
 		if !want[id] {
 			panic(fmt.Sprintf("bench_test: experiment %s missing from registry", id))
 		}

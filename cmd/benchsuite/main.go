@@ -36,6 +36,8 @@ func main() {
 		metrics   = flag.String("metrics", "", "run every model at -ranks and write OpenMetrics dumps, JSON summaries and blame tables into this directory, then exit")
 		wallOut   = flag.String("wall", "", "run the wall-clock Fock benchmark and write its JSON report (BENCH_wall.json) to this file, then exit")
 		wallCap   = flag.Int("wall-workers", 0, "with -wall: cap the worker sweep at this count (0 = full sweep; CI smoke uses 2)")
+		wallSched = flag.String("wall-sched", "semimatching,hypergraph,persistence-feedback",
+			"with -wall: comma list of scheduler-seam policies measured as extra rows; persistence-feedback enables the W3 feedback section; empty = legacy modes only")
 	)
 	flag.Parse()
 
@@ -49,6 +51,17 @@ func main() {
 
 	s := bench.NewSuite(*scale, *seed)
 	s.MaxWorkers = *wallCap
+	for _, p := range strings.Split(*wallSched, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		// Fail fast on a typo before any benchmark time is spent.
+		if _, err := core.SchedulerByName(p, core.SchedOptions{}); err != nil {
+			log.Fatalf("-wall-sched: %v (valid: %s)", err, strings.Join(core.SchedulerNames(), " "))
+		}
+		s.WallScheds = append(s.WallScheds, p)
+	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {

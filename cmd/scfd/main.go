@@ -38,6 +38,7 @@ func main() {
 		spool       = flag.String("spool", "spool", "checkpoint/restart spool directory")
 		workers     = flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 		mode        = flag.String("mode", "", "Fock executor per job: serial|static|dynamic|stealing (default serial unless -fock-workers > 1)")
+		sched       = flag.String("sched", "", "scheduler-seam balancing policy per job (overrides -mode): static|cyclic|dynamic|stealing|lpt|semimatching|hypergraph|persistence|persistence-sm|persistence-feedback")
 		fockWorkers = flag.Int("fock-workers", 1, "intra-job Fock-build workers")
 		dynBlock    = flag.Int("dyn-block", 4, "dynamic-mode fetch block")
 		seed        = flag.Int64("seed", 1, "stealing-mode seed")
@@ -56,6 +57,7 @@ func main() {
 	s, err := serve.New(serve.Config{
 		Workers:         *workers,
 		Mode:            *mode,
+		Sched:           *sched,
 		FockWorkers:     *fockWorkers,
 		DynBlock:        *dynBlock,
 		Seed:            *seed,

@@ -95,6 +95,13 @@ type Suite struct {
 	// (the CI smoke run caps at 2 so it finishes in seconds).
 	MaxWorkers int
 
+	// WallScheds lists scheduler-seam policies (core.SchedulerNames) to
+	// measure as extra wall-benchmark rows via core.NewWallScheduler.
+	// Including "persistence-feedback" additionally runs the W3
+	// measured-cost feedback experiment into the report's feedback
+	// section. Empty means legacy modes only.
+	WallScheds []string
+
 	once  sync.Once
 	bs    *chem.BasisSet
 	mol   *chem.Molecule
@@ -206,6 +213,7 @@ var registry = map[string]func(*Suite) *Table{
 	"T8": (*Suite).Table8,
 	"T9": (*Suite).Table9,
 	"W1": (*Suite).WallBenchTable,
+	"W3": (*Suite).WallFeedbackTable,
 }
 
 // Known reports whether id names a registered experiment — the fail-fast

@@ -16,7 +16,7 @@ import (
 // trajectory.
 type WallBenchRow struct {
 	Molecule      string  `json:"molecule"`
-	Mode          string  `json:"mode"` // serial-baseline | serial-arena | static | dynamic | stealing
+	Mode          string  `json:"mode"` // serial-baseline | serial-arena | static | dynamic | stealing | a scheduler-seam policy (-wall-sched)
 	Workers       int     `json:"workers"`
 	PairBlock     int     `json:"pair_block"` // bra shell-pairs per task
 	Tasks         int     `json:"tasks"`
@@ -53,6 +53,11 @@ type WallBenchReport struct {
 	// Schwarz screening removed before any task reached a scheduler.
 	Quartets []WallQuartetStats `json:"quartets"`
 	Rows     []WallBenchRow     `json:"rows"`
+	// Feedback is the W3 measured-cost feedback experiment (present when
+	// the -wall-sched list includes persistence-feedback): repeated
+	// (H2O)8 builds comparing estimate-only LPT against the EWMA
+	// feedback policy, per iteration.
+	Feedback []WallFeedbackRow `json:"feedback,omitempty"`
 }
 
 // WallQuartetStats is one molecule's symmetry/screening accounting.
@@ -181,6 +186,60 @@ func wallModeRun(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, worker
 	return best, allocs
 }
 
+// wallSchedRun executes one scheduler-seam policy reps times through
+// core.NewWallScheduler and returns the fastest result plus allocations
+// per task of the first run. A fresh scheduler per rep keeps any
+// feedback state from leaking between repetitions.
+func wallSchedRun(policy string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int, seed int64, reps int) (*core.WallResult, float64) {
+	run := func() *core.WallResult {
+		ws, err := core.NewWallScheduler(policy, workers, core.WallOptions{Seed: seed, Block: block})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		res, err := ws.Build(fw, h, d)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return res
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	best := run()
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(len(fw.Tasks))
+	for i := 1; i < reps; i++ {
+		if r := run(); r.Elapsed < best.Elapsed {
+			best = r
+		}
+	}
+	return best, allocs
+}
+
+// wallSchedPolicies returns the scheduler-seam policies swept as
+// benchmark rows: every entry of WallScheds except persistence-feedback,
+// whose iterative protocol is the separate W3 feedback experiment.
+func (s *Suite) wallSchedPolicies() []string {
+	var out []string
+	for _, p := range s.WallScheds {
+		if p != "persistence-feedback" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// wallFeedbackEnabled reports whether the report should include the W3
+// feedback section.
+func (s *Suite) wallFeedbackEnabled() bool {
+	for _, p := range s.WallScheds {
+		if p == "persistence-feedback" {
+			return true
+		}
+	}
+	return false
+}
+
 // wallParallelRow builds one parallel-mode row against the serial-arena
 // reference time.
 func wallParallelRow(molecule, mode string, fw *chem.FockWorkload, res *core.WallResult,
@@ -263,6 +322,14 @@ func (s *Suite) WallBench() *WallBenchReport {
 				rep.Rows = append(rep.Rows,
 					wallParallelRow(wm.name, mode, fw, res, workers, wallPairBlock, allocs, arenaPerSweep, flops))
 			}
+			// Scheduler-seam policies from the -wall-sched list run through
+			// the same core.Scheduler plans the simulator uses, lowered onto
+			// the wall backend.
+			for _, pol := range s.wallSchedPolicies() {
+				res, allocs := wallSchedRun(pol, fw, h, d, workers, wallDynBlock, s.Seed, reps)
+				rep.Rows = append(rep.Rows,
+					wallParallelRow(wm.name, pol, fw, res, workers, wallPairBlock, allocs, arenaPerSweep, flops))
+			}
 		}
 
 		// Granularity sweep (W2): same executors at the top worker count,
@@ -280,6 +347,9 @@ func (s *Suite) WallBench() *WallBenchReport {
 					wallParallelRow(wm.name, mode, fwb, res, topWorkers, pb, allocs, arenaPerSweep, flops))
 			}
 		}
+	}
+	if s.wallFeedbackEnabled() {
+		rep.Feedback = s.runWallFeedback()
 	}
 	return rep
 }

@@ -1,6 +1,7 @@
 package chem
 
 import (
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -220,6 +221,29 @@ type FockTask struct {
 	// global position whose bound product clears the threshold). All rows
 	// share one backing array sized NumQuarts.
 	Kets [][]int32
+}
+
+// Key returns a stable content hash identifying the task across Fock
+// builds: equal key ⇒ same bra pairs, same screened quartet count, same
+// cost estimate. Feedback schedulers store measured-cost history under
+// these keys, so a re-blocked or re-screened decomposition (different
+// content) starts cold instead of inheriting stale measurements.
+func (t *FockTask) Key() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(t.PairOffset))
+	put(uint64(t.NumQuarts))
+	put(math.Float64bits(t.EstFlops))
+	for i := range t.BraPairs {
+		put(uint64(t.BraPairs[i].I)<<32 | uint64(uint32(t.BraPairs[i].J)))
+	}
+	return h.Sum64()
 }
 
 // FockWorkload is the screened, blocked decomposition of one Fock build.

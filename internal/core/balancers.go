@@ -6,6 +6,32 @@ import (
 	"execmodels/internal/semimatching"
 )
 
+// buildTaskGraph constructs the task–rank bipartite graph used by the
+// semi-matching policies: each task connects to the owners of its data
+// blocks plus extra deterministic pseudo-random candidate ranks (default
+// 2) for connectivity. The hash sequence is shared by every caller
+// (SemiMatchingLB, SemiMatchingSched, PersistenceSched) so the same seed
+// yields the same graph through any call path.
+func buildTaskGraph(n, ranks, extra int, seed int64, blocksOf func(int) []int) *semimatching.Bipartite {
+	if extra == 0 {
+		extra = 2
+	}
+	b := semimatching.NewBipartite(n, ranks)
+	// Deterministic pseudo-random extra edges from a cheap hash so graph
+	// construction costs stay honest (no RNG state in the hot path).
+	h := uint64(seed)*2654435761 + 12345
+	for i := 0; i < n; i++ {
+		for _, blk := range blocksOf(i) {
+			b.AddEdge(i, blockOwner(blk, ranks))
+		}
+		for e := 0; e < extra; e++ {
+			h = h*6364136223846793005 + 1442695040888963407
+			b.AddEdge(i, int(h>>33)%ranks)
+		}
+	}
+	return b
+}
+
 // SemiMatchingLB is the paper's novel load balancer: tasks and ranks form
 // a bipartite graph whose edges connect each task to the owners of the
 // data blocks it touches (plus a few random ranks for connectivity), and
@@ -23,17 +49,9 @@ type SemiMatchingLB struct {
 // Name implements Model.
 func (SemiMatchingLB) Name() string { return "semi-matching" }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam).
 func (s SemiMatchingLB) Run(w *Workload, m *cluster.Machine) *Result {
-	sw := startStopwatch()
-	b := s.buildGraph(w, m.P)
-	est := make([]float64, len(w.Tasks))
-	for i, t := range w.Tasks {
-		est[i] = t.EstCost
-	}
-	assign := semimatching.WeightedSemiMatch(b, est)
-	cost := sw.seconds()
-	return runAssignment(s.Name(), w, m, assign.Of, cost)
+	return RunScheduler(SemiMatchingSched{ExtraEdges: s.ExtraEdges, Seed: s.Seed}, w, m)
 }
 
 // BuildGraphForBench exposes the bipartite-graph construction so the T4
@@ -45,24 +63,7 @@ func (s SemiMatchingLB) BuildGraphForBench(w *Workload, ranks int) *semimatching
 // buildGraph constructs the task–rank bipartite graph from block
 // ownership.
 func (s SemiMatchingLB) buildGraph(w *Workload, ranks int) *semimatching.Bipartite {
-	extra := s.ExtraEdges
-	if extra == 0 {
-		extra = 2
-	}
-	b := semimatching.NewBipartite(len(w.Tasks), ranks)
-	// Deterministic pseudo-random extra edges from a cheap hash so graph
-	// construction costs stay honest (no RNG state in the hot path).
-	h := uint64(s.Seed)*2654435761 + 12345
-	for i, t := range w.Tasks {
-		for _, blk := range t.Blocks {
-			b.AddEdge(i, blockOwner(blk, ranks))
-		}
-		for e := 0; e < extra; e++ {
-			h = h*6364136223846793005 + 1442695040888963407
-			b.AddEdge(i, int(h>>33)%ranks)
-		}
-	}
-	return b
+	return buildTaskGraph(len(w.Tasks), ranks, s.ExtraEdges, s.Seed, func(i int) []int { return w.Tasks[i].Blocks })
 }
 
 // weightedSemiMatchAssign runs the weighted semi-matching on an existing
@@ -91,17 +92,22 @@ func (h HypergraphLB) Name() string {
 	return "hypergraph"
 }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam).
 func (hl HypergraphLB) Run(w *Workload, m *cluster.Machine) *Result {
-	sw := startStopwatch()
-	h := BuildHypergraph(w)
-	res := hypergraph.Partition(h, m.P, hypergraph.Options{
+	return RunScheduler(HypergraphSched{Eps: hl.Eps, Seed: hl.Seed, Flat: hl.Flat}, w, m)
+}
+
+// planAssign partitions a scheduler-seam task set (used by
+// HypergraphSched.Plan).
+func (hl HypergraphLB) planAssign(ts *TaskSet, ranks int) []int {
+	h := buildHypergraph(ts.Len(), ts.NumBlocks, ts.BlockBytes,
+		func(i int) float64 { return ts.Costs[i] },
+		func(i int) []int { return ts.Blocks[i] })
+	return hypergraph.Partition(h, ranks, hypergraph.Options{
 		Eps:  hl.Eps,
 		Seed: hl.Seed,
 		Flat: hl.Flat,
-	})
-	cost := sw.seconds()
-	return runAssignment(hl.Name(), w, m, res.Part, cost)
+	}).Part
 }
 
 // BuildHypergraph converts a workload into the partitioning hypergraph:
@@ -109,19 +115,27 @@ func (hl HypergraphLB) Run(w *Workload, m *cluster.Machine) *Result {
 // (pins = tasks touching it, weight = block bytes, so the connectivity-1
 // cut is exactly the replication communication volume).
 func BuildHypergraph(w *Workload) *hypergraph.Hypergraph {
-	h := hypergraph.New(len(w.Tasks))
-	for i, t := range w.Tasks {
-		h.VWeights[i] = t.EstCost
+	return buildHypergraph(len(w.Tasks), w.NumBlocks, w.BlockBytes,
+		func(i int) float64 { return w.Tasks[i].EstCost },
+		func(i int) []int { return w.Tasks[i].Blocks })
+}
+
+// buildHypergraph is the shared construction behind BuildHypergraph and
+// the scheduler-seam path.
+func buildHypergraph(n, numBlocks int, blockBytes []int, vweight func(int) float64, blocksOf func(int) []int) *hypergraph.Hypergraph {
+	h := hypergraph.New(n)
+	for i := 0; i < n; i++ {
+		h.VWeights[i] = vweight(i)
 	}
-	pins := make([][]int, w.NumBlocks)
-	for i, t := range w.Tasks {
-		for _, b := range t.Blocks {
+	pins := make([][]int, numBlocks)
+	for i := 0; i < n; i++ {
+		for _, b := range blocksOf(i) {
 			pins[b] = append(pins[b], i)
 		}
 	}
 	for b, p := range pins {
 		if len(p) >= 2 {
-			h.AddNet(float64(w.BlockBytes[b]), p...)
+			h.AddNet(float64(blockBytes[b]), p...)
 		}
 	}
 	return h

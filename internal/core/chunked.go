@@ -82,13 +82,23 @@ func (s SelfScheduling) Name() string {
 	return "self-sched-" + s.Policy.Name()
 }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam's counter engine).
 func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
 	policy := s.Policy
 	if policy == nil {
 		policy = GuidedChunk{}
 	}
-	res := newResult(s.Name(), m.P)
+	return runCounterSim(s.Name(), w, m, policy)
+}
+
+// runCounterSim is the simulated execution engine of every
+// counter-based (centralized dynamic) plan: ranks claim chunks of
+// consecutive task indices from the shared counter agent under the
+// given chunk policy and pay communication for remote blocks.
+// DynamicCounter, SelfScheduling and the CounterSched plans all run
+// through it.
+func runCounterSim(model string, w *Workload, m *cluster.Machine, policy ChunkPolicy) *Result {
+	res := newResult(model, m.P)
 	counter := cluster.NewCounterAgent(m)
 	n := int64(len(w.Tasks))
 
@@ -153,6 +163,10 @@ func (s SelfScheduling) Run(w *Workload, m *cluster.Machine) *Result {
 type PersistenceSM struct {
 	Iterations int
 	Seed       int64
+
+	// Costs optionally shares measured-cost history across runs, keyed
+	// by task identity (see Persistence.Costs).
+	Costs *CostModel
 }
 
 // Name implements Model.
@@ -167,34 +181,8 @@ func (p PersistenceSM) Run(w *Workload, m *cluster.Machine) *Result {
 // RunWithHistory runs the iterative protocol and returns the final
 // iteration's result plus per-iteration makespans.
 func (p PersistenceSM) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, []float64) {
-	iters := p.Iterations
-	if iters < 1 {
-		iters = 3
-	}
-	n := len(w.Tasks)
-	assign := make([]int, n)
-	per := (n + m.P - 1) / m.P
-	for i := range assign {
-		r := i / per
-		if r >= m.P {
-			r = m.P - 1
-		}
-		assign[i] = r
-	}
-
-	graph := SemiMatchingLB{Seed: p.Seed}.buildGraph(w, m.P)
-	measured := make([]float64, n)
-	var history []float64
-	var res *Result
-	for it := 0; it < iters; it++ {
-		// Fresh virtual clocks each iteration; keep the trace in step.
-		m.Trace.Reset()
-		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
-		history = append(history, res.Makespan)
-		if it == iters-1 {
-			break
-		}
-		assign = weightedSemiMatchAssign(graph, measured)
-	}
-	return res, history
+	sched := NewPersistenceSched(PersistenceOptions{
+		Rebalance: "semimatching", Seed: p.Seed, Costs: p.Costs, ForceName: p.Name(),
+	})
+	return RunSchedulerIterations(sched, w, m, p.Iterations)
 }

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"container/heap"
-
 	"execmodels/internal/cluster"
-	"execmodels/internal/obs"
 )
 
 // rankHeap orders ranks by their next event time.
@@ -47,59 +44,13 @@ type DynamicCounter struct {
 // Name implements Model.
 func (d DynamicCounter) Name() string { return "dynamic-counter" }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam's counter engine: a fixed
+// chunk makes the pre-claim remaining count a pure read, so the merged
+// engine reproduces this model's results exactly).
 func (d DynamicCounter) Run(w *Workload, m *cluster.Machine) *Result {
 	chunk := d.Chunk
 	if chunk < 1 {
 		chunk = 1
 	}
-	res := newResult(d.Name(), m.P)
-	counter := cluster.NewCounterAgent(m)
-	n := int64(len(w.Tasks))
-
-	seen := make([]map[int]bool, m.P)
-	for r := range seen {
-		seen[r] = map[int]bool{}
-	}
-
-	h := make(rankHeap, 0, m.P)
-	for r := 0; r < m.P; r++ {
-		heap.Push(&h, rankEvent{rank: r, time: 0})
-	}
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(rankEvent)
-		r := ev.rank
-		old, done := counter.FetchAdd(ev.time, int64(chunk))
-		m.Trace.Record(cluster.Interval{Rank: r, Start: ev.time, End: done, TaskID: -1, Activity: "counter"})
-		res.addTime(obs.MCounter, r, done-ev.time)
-		if old >= n {
-			res.FinishTime[r] = done
-			continue
-		}
-		t := done
-		for i := old; i < old+int64(chunk) && i < n; i++ {
-			task := &w.Tasks[i]
-			dt := m.TaskTimeAt(r, task.Cost, t)
-			m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + dt, TaskID: task.ID, Activity: "task"})
-			res.addBusy(r, dt)
-			t += dt
-			res.ranTask(r)
-			for _, b := range task.Blocks {
-				owner := blockOwner(b, m.P)
-				if owner == r || seen[r][b] {
-					continue
-				}
-				seen[r][b] = true
-				ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-				m.Trace.Record(cluster.Interval{Rank: r, Start: t, End: t + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
-				res.addComm(r, ct, w.BlockBytes[b])
-				t += ct
-			}
-		}
-		heap.Push(&h, rankEvent{rank: r, time: t})
-	}
-	res.count(obs.CCounterOps, 0, counter.Ops())
-	res.addTime(obs.MCounterWait, 0, counter.TotalWait())
-	res.finalize()
-	return res
+	return runCounterSim(d.Name(), w, m, FixedChunk(chunk))
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"execmodels/internal/cluster"
-	"execmodels/internal/semimatching"
 )
 
 // Persistence is the persistence-based load-balancing model for iterative
@@ -12,11 +11,21 @@ import (
 // redistribute tasks by LPT over the measured costs. The principle of
 // persistence — task costs change slowly across iterations — makes the
 // measured profile a better cost model than any a-priori estimate.
+//
+// The protocol itself lives in PersistenceSched + RunSchedulerIterations;
+// this type is the Model-interface view of it.
 type Persistence struct {
 	// Iterations is the number of application iterations simulated
 	// (default 3). The returned Result describes the final iteration;
 	// History carries the full trajectory.
 	Iterations int
+
+	// Costs, when non-nil, carries the measured-cost history across
+	// RunWithHistory calls (keyed by task identity, so a re-blocked or
+	// re-screened task set between runs starts cold instead of reusing
+	// stale measurements). Nil keeps each run self-contained, the
+	// classic behavior.
+	Costs *CostModel
 }
 
 // Name implements Model.
@@ -33,75 +42,6 @@ func (p Persistence) Run(w *Workload, m *cluster.Machine) *Result {
 // RunWithHistory runs the iterative protocol and returns the final
 // iteration's result together with the per-iteration makespans.
 func (p Persistence) RunWithHistory(w *Workload, m *cluster.Machine) (*Result, []float64) {
-	iters := p.Iterations
-	if iters < 1 {
-		iters = 3
-	}
-	n := len(w.Tasks)
-
-	// Iteration 1: static block, measuring per-task times.
-	assign := make([]int, n)
-	per := (n + m.P - 1) / m.P
-	for i := range assign {
-		r := i / per
-		if r >= m.P {
-			r = m.P - 1
-		}
-		assign[i] = r
-	}
-
-	measured := make([]float64, n)
-	var history []float64
-	var res *Result
-	for it := 0; it < iters; it++ {
-		// Each iteration restarts the virtual clocks at zero; reset the
-		// trace so it describes the same (final) iteration the Result does.
-		m.Trace.Reset()
-		res = runAssignmentMeasuring(p.Name(), w, m, assign, measured)
-		history = append(history, res.Makespan)
-		if it == iters-1 {
-			break
-		}
-		// Rebalance for the next iteration on the measured profile.
-		b := semimatching.Complete(n, m.P)
-		assign = semimatching.LPT(b, measured).Of
-	}
-	return res, history
-}
-
-// runAssignmentMeasuring is runAssignment plus per-task time capture.
-// Each call describes one fresh iteration starting at virtual time zero,
-// so callers iterating must Reset the machine trace between calls.
-func runAssignmentMeasuring(model string, w *Workload, m *cluster.Machine, assign []int, measured []float64) *Result {
-	res := newResult(model, m.P)
-	seen := make([]map[int]bool, m.P)
-	clock := make([]float64, m.P)
-	for r := range seen {
-		seen[r] = map[int]bool{}
-	}
-	for i, t := range w.Tasks {
-		r := assign[i]
-		dt := m.TaskTimeAt(r, t.Cost, clock[r])
-		measured[i] = dt
-		m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + dt, TaskID: t.ID, Activity: "task"})
-		res.addBusy(r, dt)
-		clock[r] += dt
-		res.ranTask(r)
-		for _, b := range t.Blocks {
-			owner := blockOwner(b, m.P)
-			if owner == r || seen[r][b] {
-				continue
-			}
-			seen[r][b] = true
-			ct := 2 * m.XferTimeBetween(owner, r, w.BlockBytes[b])
-			m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + ct, TaskID: -1, Activity: "comm", Src: owner, Dst: r, Bytes: w.BlockBytes[b]})
-			res.addComm(r, ct, w.BlockBytes[b])
-			clock[r] += ct
-		}
-	}
-	for r := 0; r < m.P; r++ {
-		res.FinishTime[r] = clock[r]
-	}
-	res.finalize()
-	return res
+	sched := NewPersistenceSched(PersistenceOptions{Costs: p.Costs, ForceName: p.Name()})
+	return RunSchedulerIterations(sched, w, m, p.Iterations)
 }

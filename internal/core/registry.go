@@ -38,6 +38,11 @@ func ModelByName(name string, seed int64) (Model, error) {
 		return SelfScheduling{Policy: FactoringChunk{}}, nil
 	case "persistence-sm":
 		return PersistenceSM{Iterations: 3, Seed: seed}, nil
+	case "persistence-feedback":
+		return Scheduled{
+			S:          NewPersistenceSched(PersistenceOptions{Alpha: feedbackAlphaDefault, WarmStart: true, Seed: seed}),
+			Iterations: 3,
+		}, nil
 	case "resilient-static":
 		return ResilientStatic{}, nil
 	case "resilient-counter":

@@ -14,9 +14,13 @@ func blockOwner(b, ranks int) int { return b % ranks }
 // distinct remote data block its tasks touch (one get + one accumulate,
 // cached per rank — co-locating tasks that share blocks therefore saves
 // real time, which is what the locality-aware balancers exploit).
-func runAssignment(model string, w *Workload, m *cluster.Machine, assign []int, scheduleCost float64) *Result {
+//
+// measured, when non-nil, captures each task's simulated execution time
+// by task index — the measurement side of the persistence/feedback loop.
+// Each call describes one fresh iteration starting at virtual time zero,
+// so callers iterating must Reset the machine trace between calls.
+func runAssignment(model string, w *Workload, m *cluster.Machine, assign []int, scheduleCost float64, measured []float64) *Result {
 	res := newResult(model, m.P)
-	//lint:ignore clocktaint ScheduleCost is the one documented wall-clock quantity: real partitioner cost reported like the paper's Table 3, excluded from determinism checks and never charged to the registry
 	res.ScheduleCost = scheduleCost
 	seen := make([]map[int]bool, m.P)
 	clock := make([]float64, m.P) // per-rank time, for throttle windows
@@ -26,6 +30,9 @@ func runAssignment(model string, w *Workload, m *cluster.Machine, assign []int, 
 	for i, t := range w.Tasks {
 		r := assign[i]
 		dt := m.TaskTimeAt(r, t.Cost, clock[r])
+		if measured != nil {
+			measured[i] = dt
+		}
 		m.Trace.Record(cluster.Interval{Rank: r, Start: clock[r], End: clock[r] + dt, TaskID: t.ID, Activity: "task"})
 		res.addBusy(r, dt)
 		clock[r] += dt
@@ -58,19 +65,9 @@ type StaticBlock struct{}
 // Name implements Model.
 func (StaticBlock) Name() string { return "static-block" }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam).
 func (StaticBlock) Run(w *Workload, m *cluster.Machine) *Result {
-	n := len(w.Tasks)
-	assign := make([]int, n)
-	per := (n + m.P - 1) / m.P
-	for i := range assign {
-		r := i / per
-		if r >= m.P {
-			r = m.P - 1
-		}
-		assign[i] = r
-	}
-	return runAssignment(StaticBlock{}.Name(), w, m, assign, 0)
+	return RunScheduler(StaticBlockSched{}, w, m)
 }
 
 // StaticCyclic assigns task i to rank i mod P. Round-robin statistically
@@ -81,11 +78,7 @@ type StaticCyclic struct{}
 // Name implements Model.
 func (StaticCyclic) Name() string { return "static-cyclic" }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam).
 func (StaticCyclic) Run(w *Workload, m *cluster.Machine) *Result {
-	assign := make([]int, len(w.Tasks))
-	for i := range assign {
-		assign[i] = i % m.P
-	}
-	return runAssignment(StaticCyclic{}.Name(), w, m, assign, 0)
+	return RunScheduler(StaticCyclicSched{}, w, m)
 }

@@ -63,9 +63,16 @@ func (ws WorkStealing) Name() string {
 	}
 }
 
-// Run implements Model.
+// Run implements Model (via the scheduler seam's stealing engine).
 func (ws WorkStealing) Run(w *Workload, m *cluster.Machine) *Result {
-	res := newResult(ws.Name(), m.P)
+	return runStealingSim(ws.Name(), ws, w, m)
+}
+
+// runStealingSim is the simulated execution engine of every work-stealing
+// plan; name is the reporting model name (the StealingSched plans reuse
+// this engine under their own names).
+func runStealingSim(name string, ws WorkStealing, w *Workload, m *cluster.Machine) *Result {
+	res := newResult(name, m.P)
 	rng := rand.New(rand.NewSource(ws.Seed))
 	n := len(w.Tasks)
 

@@ -84,7 +84,12 @@ type wallSched interface {
 type wallAccum struct {
 	acc  *chem.JKAccum
 	busy time.Duration
-	_    [48]byte
+	// taskSec, when non-nil, captures each executed task's wall time by
+	// task index — the measurement side of the obs→scheduler feedback
+	// loop. Indexed by the task id the schedule hands out, so disjoint
+	// schedules write disjoint entries; sized before the clock starts.
+	taskSec []float64
+	_       [24]byte
 }
 
 // wallRunJK drives the shared scaffolding of all wall-clock executors: it
@@ -96,8 +101,13 @@ type wallAccum struct {
 // anywhere, and the merge order is deterministic for a fixed worker
 // count. dj feeds the Coulomb contraction; dkA (and dkB when spin) feed
 // exchange.
+//
+// taskSeconds, when non-nil (len = number of tasks), receives each task's
+// measured wall time: every worker records into its own pre-sized slice
+// and the slices are folded after wg.Wait, so the measurement path stays
+// race-free and allocation-free inside the timed loop.
 func wallRunJK(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix, spin bool,
-	workers int, sched wallSched) (j, kA, kB *linalg.Matrix, elapsed time.Duration, busy []time.Duration) {
+	workers int, sched wallSched, taskSeconds []float64) (j, kA, kB *linalg.Matrix, elapsed time.Duration, busy []time.Duration) {
 	if workers < 1 {
 		panic(fmt.Sprintf("core: workers = %d", workers))
 	}
@@ -106,6 +116,9 @@ func wallRunJK(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix, spin bool,
 	slots := make([]wallAccum, workers)
 	for wk := range slots {
 		slots[wk].acc = fw.NewJKAccum(spin)
+		if taskSeconds != nil {
+			slots[wk].taskSec = make([]float64, len(taskSeconds))
+		}
 	}
 
 	sw := startStopwatch()
@@ -130,6 +143,15 @@ func wallRunJK(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix, spin bool,
 	for wk := range slots {
 		slots[wk].acc.MergeInto(j, kA, kB)
 		busy[wk] = slots[wk].busy
+		if taskSeconds != nil {
+			// Each task ran on exactly one worker; fold the sparse
+			// per-worker records (zero = not executed here).
+			for i, v := range slots[wk].taskSec {
+				if v != 0 {
+					taskSeconds[i] = v
+				}
+			}
+		}
 	}
 	return j, kA, kB, elapsed, busy
 }
@@ -147,21 +169,26 @@ func wallRunJK(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix, spin bool,
 func wallWorkerLoop(fw *chem.FockWorkload, dj, dkA, dkB *linalg.Matrix,
 	slot *wallAccum, wk int, nextTask func(worker int) (int, bool)) {
 	for {
-		//lint:ignore allocfree indirect dispatch: every nextTask implementation (wallStaticSched, wallDynSched, wallStealSched .next) is itself an annotated allocfree root
+		//lint:ignore allocfree indirect dispatch: every nextTask implementation (wallStaticSched, wallAssignSched, wallDynSched, wallStealSched .next) is itself an annotated allocfree root
 		id, ok := nextTask(wk)
 		if !ok {
 			return
 		}
 		t0 := startStopwatch()
 		fw.ExecuteTaskAccum(&fw.Tasks[id], dj, dkA, dkB, slot.acc)
-		slot.busy += t0.elapsed()
+		dt := t0.elapsed()
+		slot.busy += dt
+		if slot.taskSec != nil {
+			slot.taskSec[id] = dt.Seconds()
+		}
 	}
 }
 
 // wallBuild runs one restricted Fock build through sched and assembles
-// F = H + J − K/2 from the merged accumulators.
-func wallBuild(sched wallSched, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
-	j, k, _, elapsed, busy := wallRunJK(fw, d, d, nil, false, workers, sched)
+// F = H + J − K/2 from the merged accumulators. taskSeconds, when
+// non-nil, receives per-task measured wall times (see wallRunJK).
+func wallBuild(sched wallSched, fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, taskSeconds []float64) *WallResult {
+	j, k, _, elapsed, busy := wallRunJK(fw, d, d, nil, false, workers, sched, taskSeconds)
 	f := h.Clone()
 	f.AddScaled(1, j)
 	f.AddScaled(-0.5, k)
@@ -238,7 +265,7 @@ func (s *wallStaticSched) counters() wallCounters { return wallCounters{} }
 // WallStatic executes the Fock build with a static block schedule on real
 // goroutines.
 func WallStatic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int) *WallResult {
-	return wallBuild(newWallStaticSched(len(fw.Tasks), workers), fw, h, d, workers)
+	return wallBuild(newWallStaticSched(len(fw.Tasks), workers), fw, h, d, workers, nil)
 }
 
 // wallDynSched serves blocks of consecutive tasks from a shared atomic
@@ -285,7 +312,7 @@ func (s *wallDynSched) counters() wallCounters { return wallCounters{counterOps:
 // size, as the simulated dynamic-counter model's F3 sweep studies).
 // block < 1 is treated as 1, the classic one-task-per-fetch NXTVAL.
 func WallDynamic(fw *chem.FockWorkload, h, d *linalg.Matrix, workers, block int) *WallResult {
-	return wallBuild(newWallDynSched(len(fw.Tasks), workers, block), fw, h, d, workers)
+	return wallBuild(newWallDynSched(len(fw.Tasks), workers, block), fw, h, d, workers, nil)
 }
 
 // Backoff schedule for idle thieves: a few yielded retries, then sleeps
@@ -382,7 +409,7 @@ func (s *wallStealSched) counters() wallCounters {
 // steal-half work stealing on real goroutines. seed drives the
 // per-worker victim-selection RNG streams.
 func WallStealing(fw *chem.FockWorkload, h, d *linalg.Matrix, workers int, seed int64) *WallResult {
-	return wallBuild(newWallStealSched(len(fw.Tasks), workers, seed), fw, h, d, workers)
+	return wallBuild(newWallStealSched(len(fw.Tasks), workers, seed), fw, h, d, workers, nil)
 }
 
 // WallOptions carries the tunables of the wall-clock executors that
@@ -420,7 +447,7 @@ func wallExec(mode string, fw *chem.FockWorkload, h, d *linalg.Matrix, workers i
 	if err != nil {
 		return nil, err
 	}
-	return wallBuild(sched, fw, h, d, workers), nil
+	return wallBuild(sched, fw, h, d, workers, nil), nil
 }
 
 // WallUHF runs one unrestricted parallel Fock build: J contracted against
@@ -433,7 +460,7 @@ func WallUHF(mode string, fw *chem.FockWorkload, dTot, dA, dB *linalg.Matrix, wo
 	if err != nil {
 		return nil, err
 	}
-	j, kA, kB, elapsed, busy := wallRunJK(fw, dTot, dA, dB, true, workers, sched)
+	j, kA, kB, elapsed, busy := wallRunJK(fw, dTot, dA, dB, true, workers, sched, nil)
 	res := &WallSpinResult{J: j, KA: kA, KB: kB, Elapsed: elapsed, WorkerBusy: busy}
 	c := sched.counters()
 	res.Steals, res.StealRetry, res.StealSeed, res.CounterOps = c.steals, c.retries, c.seed, c.counterOps

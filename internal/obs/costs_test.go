@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testProfile() *CostProfile {
+	return &CostProfile{
+		Source: "persistence-feedback",
+		Unit:   "wall_seconds",
+		Tasks: []TaskCost{
+			{Key: 9, Est: 30, Measured: 3},
+			{Key: 2, Est: 10, Measured: 1},
+			{Key: 5, Est: 60, Measured: 4},
+		},
+	}
+}
+
+func TestCostProfileRoundTrip(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := WriteCostProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCostProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != p.Source || got.Unit != p.Unit || len(got.Tasks) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// The writer sorts by key, so the decoded order is canonical.
+	for i := 1; i < len(got.Tasks); i++ {
+		if got.Tasks[i].Key <= got.Tasks[i-1].Key {
+			t.Fatalf("decoded entries not key-sorted: %+v", got.Tasks)
+		}
+	}
+}
+
+func TestCostProfileWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteCostProfile(&a, testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCostProfile(&b, testProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two writes of the same model state differ")
+	}
+	if err := WriteCostProfile(&a, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestCostProfileAggregates(t *testing.T) {
+	p := testProfile()
+	if got := p.TotalMeasured(); got != 8 {
+		t.Errorf("TotalMeasured = %g, want 8", got)
+	}
+	if got := p.Calibration(); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("Calibration = %g, want 0.08 (8/100)", got)
+	}
+	empty := &CostProfile{}
+	if got := empty.Calibration(); got != 0 {
+		t.Errorf("empty calibration = %g, want 0", got)
+	}
+}
+
+func TestReadCostProfileBadInput(t *testing.T) {
+	if _, err := ReadCostProfile(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed input accepted")
+	}
+}

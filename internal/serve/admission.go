@@ -13,6 +13,12 @@ type Admission struct {
 	// MaxQueuedFlops bounds the summed cost estimate of queued jobs, in
 	// the same NBF⁴ units as JobSpec.EstimateCost (0 disables).
 	MaxQueuedFlops float64
+	// FallbackRate is the estimated service rate (cost units per second)
+	// used for Retry-After hints while the measured drain rate is still
+	// unknown — a cold server right after start/restart would otherwise
+	// tell every rejected client "retry in 1 s" regardless of backlog.
+	// 0 keeps the old minimum-hint behavior.
+	FallbackRate float64
 }
 
 // Retry-After clamps: never ask a client to come back sooner than 1 s or
@@ -32,10 +38,16 @@ func (a Admission) Admit(depth int, queuedFlops, jobFlops, drainRate float64) (r
 	if !overDepth && !overFlops {
 		return 0, true
 	}
+	rate := drainRate
+	if rate <= 0 {
+		// Cold server: no job has completed since (re)start, so there is
+		// no measured rate yet. Fall back to the configured estimate.
+		rate = a.FallbackRate
+	}
 	retry := float64(minRetryAfter)
-	if drainRate > 0 {
+	if rate > 0 {
 		// Time to drain enough backlog for this job to fit.
-		retry = math.Ceil((queuedFlops + jobFlops) / drainRate)
+		retry = math.Ceil((queuedFlops + jobFlops) / rate)
 	}
 	if retry < minRetryAfter {
 		retry = minRetryAfter

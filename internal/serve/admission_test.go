@@ -41,3 +41,31 @@ func TestAdmissionRetryAfter(t *testing.T) {
 		t.Errorf("retry clamped high = %d, want 60", retry)
 	}
 }
+
+// TestAdmissionColdServerFallback is the regression test for the
+// first-request-after-restart bug: a full queue recovered from the spool
+// plus zero served flops means drainRate is 0, and every rejected client
+// used to get the minimum "retry in 1 s" hint regardless of backlog —
+// turning a restart into a retry stampede. With FallbackRate set, the
+// hint scales with the backlog under the estimated rate instead.
+func TestAdmissionColdServerFallback(t *testing.T) {
+	a := Admission{MaxDepth: 1, FallbackRate: 100}
+
+	// backlog 500 + job 100 at the fallback 100 units/s → 6 s, exactly
+	// as if 100 units/s had been measured.
+	if retry, ok := a.Admit(1, 500, 100, 0); ok || retry != 6 {
+		t.Errorf("cold Admit = (%d, %v), want (6, false)", retry, ok)
+	}
+	// A measured rate, once it exists, wins over the fallback.
+	if retry, _ := a.Admit(1, 500, 100, 200); retry != 3 {
+		t.Errorf("measured rate ignored: retry = %d, want 3", retry)
+	}
+	// Fallback still clamps like the measured path.
+	if retry, _ := a.Admit(1, 1e12, 1, 0); retry != 60 {
+		t.Errorf("cold retry clamped high = %d, want 60", retry)
+	}
+	// Zero-value FallbackRate preserves the old minimum-hint behavior.
+	if retry, _ := (Admission{MaxDepth: 1}).Admit(1, 500, 100, 0); retry != 1 {
+		t.Errorf("zero-value fallback retry = %d, want 1", retry)
+	}
+}

@@ -27,6 +27,11 @@ type Config struct {
 	// dynamic | stealing (default "stealing" when FockWorkers > 1, else
 	// "serial").
 	Mode string
+	// Sched, when non-empty, selects a scheduler-seam balancing policy
+	// (core.SchedulerNames: semimatching, persistence-feedback, ...)
+	// instead of Mode for the per-job Fock builds. Feedback policies keep
+	// per-job measured-cost state, so each job gets a private builder.
+	Sched string
 	// FockWorkers is the intra-job Fock-build parallelism (default 1:
 	// with many concurrent jobs, job-level parallelism wins).
 	FockWorkers int
@@ -92,7 +97,10 @@ type Server struct {
 	store     *Store
 	metrics   *Metrics
 	admission Admission
-	builder   chem.FockBuilder
+	// newBuilder builds one job's Fock builder (nil for serial mode).
+	// Feedback schedulers accumulate per-job measured-cost state, so
+	// builders are never shared between concurrently running jobs.
+	newBuilder func() (chem.FockBuilder, error)
 
 	jmu  sync.Mutex
 	jobs map[string]*Job // guarded by jmu
@@ -110,6 +118,13 @@ type Server struct {
 // stays checkpointed in the spool for the next process.
 var errDraining = errors.New("server draining")
 
+// estFlopsPerSecond is the nominal single-worker service rate in the
+// NBF⁴ cost units of JobSpec.EstimateCost, used only for cold-server
+// Retry-After hints (Admission.FallbackRate) until a measured drain rate
+// exists. Deliberately conservative: over-estimating the rate would make
+// cold servers hand out hints that are too short.
+const estFlopsPerSecond = 1e6
+
 // New builds a Server over a spool directory, re-enqueueing every
 // incomplete job found there (the checkpoint/restart path): a job killed
 // mid-SCF resumes from its last committed iteration.
@@ -119,24 +134,40 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var builder chem.FockBuilder
-	if cfg.Mode != "serial" {
-		builder, err = core.ParallelFockBuilder(cfg.Mode, cfg.FockWorkers,
-			core.WallOptions{Seed: cfg.Seed, Block: cfg.DynBlock})
-		if err != nil {
-			return nil, err
+	opt := core.WallOptions{Seed: cfg.Seed, Block: cfg.DynBlock}
+	newBuilder := func() (chem.FockBuilder, error) { return nil, nil } // serial
+	switch {
+	case cfg.Sched != "":
+		newBuilder = func() (chem.FockBuilder, error) {
+			return core.SchedulerFockBuilder(cfg.Sched, cfg.FockWorkers, opt)
+		}
+	case cfg.Mode != "serial":
+		newBuilder = func() (chem.FockBuilder, error) {
+			return core.ParallelFockBuilder(cfg.Mode, cfg.FockWorkers, opt)
 		}
 	}
+	// Validate eagerly so a bad -mode/-sched fails at startup, not when
+	// the first job runs.
+	if _, err := newBuilder(); err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:       cfg,
-		queue:     NewFairQueue(cfg.TenantWeights),
-		store:     store,
-		metrics:   NewMetrics(),
-		admission: Admission{MaxDepth: cfg.MaxDepth, MaxQueuedFlops: cfg.MaxQueuedFlops},
-		builder:   builder,
-		jobs:      map[string]*Job{},
-		draining:  make(chan struct{}),
-		started:   now(),
+		cfg:     cfg,
+		queue:   NewFairQueue(cfg.TenantWeights),
+		store:   store,
+		metrics: NewMetrics(),
+		admission: Admission{
+			MaxDepth: cfg.MaxDepth, MaxQueuedFlops: cfg.MaxQueuedFlops,
+			// Until the first job completes there is no measured drain
+			// rate; Retry-After hints fall back to the nominal per-worker
+			// service rate so a cold (just-restarted) server still scales
+			// its hints with the backlog.
+			FallbackRate: float64(cfg.Workers) * estFlopsPerSecond,
+		},
+		newBuilder: newBuilder,
+		jobs:       map[string]*Job{},
+		draining:   make(chan struct{}),
+		started:    now(),
 	}
 	s.idBase = strconv.FormatInt(s.started.UnixNano(), 36)
 
@@ -287,7 +318,12 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
-	res, err := chem.RunSCF(mol, bs, opts, s.builder)
+	builder, err := s.newBuilder()
+	if err != nil {
+		s.failJob(job, reg, err)
+		return
+	}
+	res, err := chem.RunSCF(mol, bs, opts, builder)
 	switch {
 	case err == nil:
 		latency := job.finish(res.Converged, "")

@@ -50,10 +50,16 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between order statistics.
+// interpolation between order statistics. p outside [0, 100] clamps to
+// the sample min/max; a NaN p panics (it would otherwise fall through
+// every comparison and index the sample with int(NaN), whose value is
+// platform-dependent).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: empty sample")
+	}
+	if math.IsNaN(p) {
+		panic("stats: Percentile p must not be NaN")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

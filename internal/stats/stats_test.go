@@ -307,6 +307,46 @@ func TestZeroSamplesNaNFree(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeTable pins the edge behavior of Percentile: p at and
+// beyond the [0, 100] bounds clamps to the sample min/max (for n ≥ 1,
+// including n = 1), an empty sample panics, and a NaN p panics instead of
+// indexing the sample with int(NaN), whose value is platform-dependent.
+func TestPercentileEdgeTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs     []float64
+		p      float64
+		want   float64 // ignored when panics
+		panics bool
+	}{
+		{name: "p0 clamps to min", xs: []float64{3, 1, 2}, p: 0, want: 1},
+		{name: "p100 clamps to max", xs: []float64{3, 1, 2}, p: 100, want: 3},
+		{name: "negative p clamps to min", xs: []float64{3, 1, 2}, p: -10, want: 1},
+		{name: "p over 100 clamps to max", xs: []float64{3, 1, 2}, p: 150, want: 3},
+		{name: "n=1 p0", xs: []float64{42}, p: 0, want: 42},
+		{name: "n=1 p50", xs: []float64{42}, p: 50, want: 42},
+		{name: "n=1 p100", xs: []float64{42}, p: 100, want: 42},
+		{name: "n=0 panics", xs: nil, p: 50, panics: true},
+		{name: "NaN p panics", xs: []float64{1, 2, 3}, p: math.NaN(), panics: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); (r != nil) != tc.panics {
+					t.Fatalf("panic = %v, want panics = %v", r, tc.panics)
+				}
+			}()
+			got := Percentile(tc.xs, tc.p)
+			if tc.panics {
+				t.Fatalf("Percentile returned %v, want panic", got)
+			}
+			if got != tc.want {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
 // TestSummarizeNaNFreeProperty fuzzes Summarize over random non-negative
 // samples (the domain our per-rank metrics live in) and asserts no field
 // ever comes back NaN or infinite.
